@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure.  The experiments are
+deterministic simulations, so a single measured round per benchmark is
+both sufficient and what keeps the full suite's runtime reasonable.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def paper_benchmark(benchmark):
+    """A pytest-benchmark fixture pinned to one round / one iteration."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

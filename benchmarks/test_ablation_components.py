@@ -1,0 +1,59 @@
+"""Ablation: isolate the contribution of each Q-VR component.
+
+Not a paper figure per se, but the decomposition Sec. 6.1 narrates:
+FFR -> DFR isolates LIWC's dynamic balancing; DFR -> Q-VR isolates UCA's
+contention removal; SW-QVR -> Q-VR isolates the hardware prediction path.
+Asserted: each component contributes positively on the heavy titles.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.sim.runner import run_comparison, speedup_over
+
+ABLATION_APPS = ("Doom3-H", "GRID", "Wolf")
+
+
+def _run_ablation(n_frames=200):
+    rows = []
+    for app in ABLATION_APPS:
+        results = run_comparison(
+            app, systems=("local", "ffr", "dfr", "sw-qvr", "qvr"), n_frames=n_frames
+        )
+        rows.append(
+            {
+                "app": app,
+                "ffr": speedup_over(results, "ffr"),
+                "dfr": speedup_over(results, "dfr"),
+                "qvr": speedup_over(results, "qvr"),
+                "sw_fps": results["sw-qvr"].measured_fps,
+                "dfr_fps": results["dfr"].measured_fps,
+                "qvr_fps": results["qvr"].measured_fps,
+            }
+        )
+    return rows
+
+
+def test_component_ablation(paper_benchmark):
+    rows = paper_benchmark(_run_ablation)
+
+    print()
+    print(
+        format_table(
+            ["app", "FFR", "+LIWC (DFR)", "+UCA (Q-VR)", "SW FPS", "DFR FPS", "Q-VR FPS"],
+            [
+                [r["app"], r["ffr"], r["dfr"], r["qvr"], r["sw_fps"], r["dfr_fps"], r["qvr_fps"]]
+                for r in rows
+            ],
+            title="Ablation — per-component contribution (speedup over local)",
+        )
+    )
+
+    for r in rows:
+        # LIWC's balancing does not hurt, UCA adds a clear step.
+        assert r["dfr"] >= r["ffr"] * 0.95, r["app"]
+        assert r["qvr"] > r["dfr"], r["app"]
+        # UCA lifts the frame rate (GPU freed from composition/ATW).
+        assert r["qvr_fps"] > r["dfr_fps"], r["app"]
+        # Hardware prediction beats software control on throughput.
+        assert r["qvr_fps"] > r["sw_fps"], r["app"]

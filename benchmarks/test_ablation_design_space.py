@@ -1,0 +1,77 @@
+"""Ablation: design-space sensitivity of the DESIGN.md-called-out choices.
+
+Sweeps three design knobs the paper fixes by construction and DESIGN.md
+flags for ablation:
+
+* streaming chunk count (Sec. 3.2 parallel streaming) — more chunks must
+  monotonically reduce the remote path latency toward the bottleneck;
+* LIWC reward alpha — convergence must hold across a reasonable range;
+* remote server scale (the OO-VR-style MCM GPU count) — the remote render
+  stage must shrink with more chiplets, with diminishing returns.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.codec.stream import pipelined_latency_ms
+from repro.core.liwc import LIWCConfig
+from repro.core.controllers import LIWCController
+from repro.gpu.config import RemoteServerConfig
+from repro.sim.systems import CollaborativeFoveatedSystem, PlatformConfig
+from repro.workloads.apps import get_app
+
+
+def _chunk_sweep():
+    stages = [2.0, 1.2, 7.5, 0.9]  # render, encode, transmit, decode (ms)
+    return [(k, pipelined_latency_ms(stages, k)) for k in (1, 2, 4, 8, 16, 32)]
+
+
+def _alpha_sweep(n_frames=150):
+    app = get_app("HL2-H")
+    rows = []
+    for alpha in (0.05, 0.15, 0.30, 0.60):
+        system = CollaborativeFoveatedSystem(
+            app,
+            LIWCController(LIWCConfig(reward_alpha=alpha)),
+            uses_uca=True,
+            name="qvr",
+        )
+        result = system.run(n_frames=n_frames)
+        rows.append((alpha, result.mean_latency_ratio, result.mean_latency_ms))
+    return rows
+
+
+def _server_sweep():
+    rows = []
+    for gpus in (1, 2, 4, 8):
+        cfg = RemoteServerConfig(num_gpus=gpus)
+        rows.append((gpus, cfg.effective_speedup))
+    return rows
+
+
+def test_design_space(paper_benchmark):
+    chunks, alphas, servers = paper_benchmark(
+        lambda: (_chunk_sweep(), _alpha_sweep(), _server_sweep())
+    )
+
+    print()
+    print(format_table(["chunks", "remote path (ms)"], chunks,
+                       title="Ablation — streaming chunk count"))
+    print(format_table(["alpha", "steady latency ratio", "mean latency (ms)"], alphas,
+                       title="Ablation — LIWC reward alpha"))
+    print(format_table(["MCM GPUs", "effective speedup"], servers,
+                       title="Ablation — remote server scale"))
+
+    # Chunking: monotone improvement, bounded by the bottleneck stage.
+    latencies = [lat for _, lat in chunks]
+    assert latencies == sorted(latencies, reverse=True)
+    assert latencies[-1] >= 7.5
+
+    # Alpha: the controller balances across the whole sweep.
+    for alpha, ratio, _ in alphas:
+        assert 0.5 < ratio < 2.0, alpha
+
+    # Server scale: more chiplets, more speedup, sublinear growth.
+    speedups = [s for _, s in servers]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] < 8 * speedups[0]

@@ -1,0 +1,52 @@
+"""Fig. 3: latency breakdown + FPS of local-only and remote-only rendering.
+
+Regenerates both subfigures on the Table 1 tethered apps.  The paper's
+headline observations are asserted: local-only is bottlenecked by the raw
+GPU (latencies far above 25 ms MTP, FPS well under 90), and remote-only
+spends ~63 % of its latency in network transmission.
+"""
+
+import numpy as np
+
+from repro.analysis.calibration import ANCHORS
+from repro.analysis.experiments import fig3_motivation
+from repro.analysis.report import format_table
+
+
+def test_fig3_motivation(paper_benchmark):
+    local_rows, remote_rows = paper_benchmark(fig3_motivation)
+
+    print()
+    print(
+        format_table(
+            ["app", "tracking", "render", "ATW", "display", "total(ms)", "FPS"],
+            [
+                [r.app, r.tracking_ms, r.rendering_ms, r.atw_ms, r.display_ms, r.total_ms, r.fps]
+                for r in local_rows
+            ],
+            title="Fig. 3a — local-only rendering",
+        )
+    )
+    print(
+        format_table(
+            ["app", "send", "render", "transmit", "ATW+VD", "total(ms)", "FPS", "tx share"],
+            [
+                [
+                    r.app, r.sending_ms, r.rendering_ms, r.transmit_ms,
+                    r.atw_ms, r.total_ms, r.fps, r.transmit_share,
+                ]
+                for r in remote_rows
+            ],
+            title="Fig. 3b — remote-only rendering",
+        )
+    )
+
+    # Local-only: GPU-bound, misses both realtime requirements.
+    for row in local_rows:
+        assert row.total_ms > 25.0
+        assert row.fps < 90.0
+    # Remote-only: transmission dominates (paper: ~63 %).
+    mean_share = float(np.mean([r.transmit_share for r in remote_rows]))
+    assert ANCHORS["remote_transmit_share"].check(mean_share)
+    for row in remote_rows:
+        assert row.total_ms > 25.0

@@ -1,0 +1,58 @@
+"""Fig. 12: normalized performance of Static/FFR/DFR/Q-VR + FPS lines.
+
+Regenerates the headline comparison under the default 500 MHz / Wi-Fi
+platform and asserts the paper's bands: Q-VR ~3.4x average (up to ~6.7x)
+end-to-end speedup over local rendering, ~4.1x FPS over static
+collaboration, ~2.8x FPS over the pure-software implementation, and the
+static < FFR <= DFR < Q-VR ordering.
+"""
+
+import numpy as np
+
+from repro.analysis.calibration import ANCHORS
+from repro.analysis.experiments import fig12_performance
+from repro.analysis.report import format_table
+
+
+def test_fig12(paper_benchmark):
+    rows = paper_benchmark(fig12_performance, 240)
+
+    print()
+    print(
+        format_table(
+            [
+                "app", "Static", "FFR", "DFR", "Q-VR",
+                "SW-FPS", "Q-VR-FPS", "Static-FPS",
+            ],
+            [
+                [
+                    r.app, r.static_speedup, r.ffr_speedup, r.dfr_speedup,
+                    r.qvr_speedup, r.sw_fps, r.qvr_fps, r.static_fps,
+                ]
+                for r in rows
+            ],
+            title="Fig. 12 — normalized performance over local rendering (500 MHz, Wi-Fi)",
+        )
+    )
+
+    qvr = [r.qvr_speedup for r in rows]
+    ffr = [r.ffr_speedup for r in rows]
+    dfr = [r.dfr_speedup for r in rows]
+    static = [r.static_speedup for r in rows]
+
+    assert ANCHORS["qvr_avg_speedup"].check(float(np.mean(qvr)))
+    assert ANCHORS["qvr_max_speedup"].check(float(np.max(qvr)))
+    assert ANCHORS["ffr_avg_speedup"].check(float(np.mean(ffr)))
+    assert ANCHORS["ffr_max_speedup"].check(float(np.max(ffr)))
+    assert ANCHORS["static_avg_speedup"].check(float(np.mean(static)))
+    assert ANCHORS["dfr_over_ffr"].check(float(np.mean(dfr)) / float(np.mean(ffr)))
+
+    # Per-app ordering: Q-VR dominates every other design everywhere.
+    for row in rows:
+        assert row.qvr_speedup > row.dfr_speedup
+        assert row.qvr_speedup > row.static_speedup
+
+    fps_vs_static = float(np.mean([r.qvr_fps / r.static_fps for r in rows]))
+    fps_vs_sw = float(np.mean([r.qvr_fps / r.sw_fps for r in rows]))
+    assert ANCHORS["qvr_fps_over_static"].check(fps_vs_static)
+    assert ANCHORS["qvr_fps_over_sw"].check(fps_vs_sw)

@@ -1,0 +1,51 @@
+"""Fig. 13: transmitted data size and resolution reduction.
+
+Regenerates the per-app transmission comparison normalised to remote-only
+full-frame streaming, asserting the paper's shapes: the static design
+transmits *more* than remote-only (depth maps on top of colour), Q-VR cuts
+transmitted data by ~85 % on average, Doom3-L approaches ~96 % reduction
+with only a small resolution reduction (most work runs locally), and the
+average resolution reduction lands in the reported band.
+"""
+
+import numpy as np
+
+from repro.analysis.calibration import ANCHORS
+from repro.analysis.experiments import fig13_transmission
+from repro.analysis.report import format_table
+
+
+def test_fig13(paper_benchmark):
+    rows = paper_benchmark(fig13_transmission, 240)
+
+    print()
+    print(
+        format_table(
+            ["app", "Static", "FFR", "Q-VR", "resolution reduction"],
+            [
+                [
+                    r.app, r.static_normalized, r.ffr_normalized,
+                    r.qvr_normalized, r.resolution_reduction,
+                ]
+                for r in rows
+            ],
+            title="Fig. 13 — transmitted data normalised to remote-only",
+        )
+    )
+
+    # Static does not reduce transmitted data (it adds depth maps).
+    for row in rows:
+        assert row.static_normalized >= 1.0
+        assert row.qvr_normalized < row.static_normalized
+        assert row.qvr_normalized <= row.ffr_normalized * 1.05
+
+    mean_reduction = 1.0 - float(np.mean([r.qvr_normalized for r in rows]))
+    assert ANCHORS["qvr_data_reduction"].check(mean_reduction)
+
+    doom3l = next(r for r in rows if r.app == "Doom3-L")
+    assert ANCHORS["doom3l_data_reduction"].check(1.0 - doom3l.qvr_normalized)
+    # Doom3-L runs mostly local: its resolution reduction is the smallest.
+    assert doom3l.resolution_reduction == min(r.resolution_reduction for r in rows)
+
+    mean_resolution = float(np.mean([r.resolution_reduction for r in rows]))
+    assert ANCHORS["qvr_resolution_reduction"].check(mean_resolution)

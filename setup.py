@@ -1,0 +1,6 @@
+"""Setup shim: enables editable installs on toolchains without the
+``wheel`` package (offline environments)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,526 @@
+"""Canned experiments: one function per paper table/figure.
+
+Every function is deterministic for a given seed and returns structured
+rows; the benchmark harness wraps these and prints them via
+:mod:`repro.analysis.report`.  Frame counts default to the paper's 300
+(Fig. 14) but are parameters so tests can run shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.codec.h264 import H264Model
+from repro.core.foveation import DisplayGeometry, FoveationModel
+from repro.energy.accounting import EnergyAccountant
+from repro.energy.mcpat import OverheadReport, estimate_liwc, estimate_uca
+from repro.gpu.config import GPUConfig
+from repro.gpu.perf_model import GPUPerfModel, RenderWorkload
+from repro.network.channel import NetworkChannel
+from repro.network.conditions import ALL_CONDITIONS, NetworkConditions, WIFI
+from repro.sim.runner import run_comparison, speedup_over
+from repro.sim.systems import PlatformConfig, make_system
+from repro.workloads.apps import APPS, TABLE3_ORDER, get_app
+from repro.workloads.scene_model import InteractionModel
+from repro.workloads.tethered import TABLE1_ORDER, TETHERED_APPS, TetheredApp
+
+__all__ = [
+    "Fig3Row",
+    "fig3_motivation",
+    "Table1Row",
+    "table1_static_characterization",
+    "fig5_interaction_latency",
+    "Fig6Row",
+    "fig6_foveal_sizing",
+    "Fig12Row",
+    "fig12_performance",
+    "Fig13Row",
+    "fig13_transmission",
+    "Fig14Series",
+    "fig14_balancing",
+    "Table4Cell",
+    "table4_eccentricity",
+    "Fig15Cell",
+    "fig15_energy",
+    "overhead_analysis",
+    "GPU_FREQUENCIES_MHZ",
+]
+
+#: GPU frequency sweep of the sensitivity study (Table 4 / Fig. 15).
+GPU_FREQUENCIES_MHZ: tuple[float, ...] = (500.0, 400.0, 300.0)
+
+#: ATW cost on the Gen 9 physical test platform of Sec. 2.3, in ms.
+_TETHERED_ATW_MS = 3.0
+
+#: Input-send CPU cost for remote rendering on the test platform, in ms.
+_TETHERED_SEND_MS = 1.0
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3: motivation — local-only and remote-only latency breakdowns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One app's latency breakdown under a single-site rendering design."""
+
+    app: str
+    tracking_ms: float
+    sending_ms: float
+    rendering_ms: float
+    transmit_ms: float
+    atw_ms: float
+    display_ms: float
+    fps: float
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end system latency (the stacked bar height)."""
+        return (
+            self.tracking_ms
+            + self.sending_ms
+            + self.rendering_ms
+            + self.transmit_ms
+            + self.atw_ms
+            + self.display_ms
+        )
+
+    @property
+    def transmit_share(self) -> float:
+        """Fraction of the total spent in network transmission."""
+        return self.transmit_ms / self.total_ms if self.total_ms > 0 else 0.0
+
+
+def fig3_motivation(
+    conditions: NetworkConditions = WIFI, seed: int = 0
+) -> tuple[list[Fig3Row], list[Fig3Row]]:
+    """Reproduce Fig. 3: (local-only rows, remote-only rows).
+
+    Runs the Table 1 tethered apps on the Sec. 2.3 physical-platform
+    model: local-only renders the full frame on the mobile processor;
+    remote-only streams full frames from the server.
+    """
+    codec = H264Model()
+    channel = NetworkChannel(conditions, seed=seed)
+    local_rows: list[Fig3Row] = []
+    remote_rows: list[Fig3Row] = []
+    for name in TABLE1_ORDER:
+        app = TETHERED_APPS[name]
+        local_rows.append(
+            Fig3Row(
+                app=name,
+                tracking_ms=constants.SENSOR_TRANSPORT_MS,
+                sending_ms=0.0,
+                rendering_ms=app.full_frame_ms,
+                transmit_ms=0.0,
+                atw_ms=_TETHERED_ATW_MS,
+                display_ms=constants.DISPLAY_SCANOUT_MS,
+                fps=1000.0 / (app.full_frame_ms + _TETHERED_ATW_MS),
+            )
+        )
+        payload = codec.encode(app.pixels_per_frame, app.content_complexity).payload_bytes
+        transmit = channel.expected_transfer_time_ms(payload)
+        server_render = app.full_frame_ms / 30.0  # high-end multi-GPU server
+        remote_rows.append(
+            Fig3Row(
+                app=name,
+                tracking_ms=constants.SENSOR_TRANSPORT_MS,
+                sending_ms=_TETHERED_SEND_MS + channel.one_way_ms,
+                rendering_ms=server_render,
+                transmit_ms=transmit,
+                atw_ms=_TETHERED_ATW_MS + codec.decode_time_ms(app.pixels_per_frame),
+                display_ms=constants.DISPLAY_SCANOUT_MS,
+                fps=1000.0 / transmit,
+            )
+        )
+    return local_rows, remote_rows
+
+
+# ---------------------------------------------------------------------------
+# Table 1: static collaborative characterisation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Static-collaboration characterisation of one tethered app."""
+
+    app: str
+    resolution: str
+    triangles: float
+    interactive_objects: str
+    f_min: float
+    f_max: float
+    avg_local_ms: float
+    min_local_ms: float
+    max_local_ms: float
+    back_size_kb: float
+    remote_ms: float
+
+
+def table1_static_characterization(
+    n_frames: int = 600, seed: int = 0
+) -> list[Table1Row]:
+    """Reproduce Table 1 by replaying interaction traces per app."""
+    codec = H264Model()
+    channel = NetworkChannel(WIFI, seed=seed)
+    rows: list[Table1Row] = []
+    for index, name in enumerate(TABLE1_ORDER):
+        app = TETHERED_APPS[name]
+        interaction = InteractionModel(seed=seed + index)
+        locals_ms = [
+            app.interactive_latency_ms(interaction.step()) for _ in range(n_frames)
+        ]
+        payload = codec.encode(app.pixels_per_frame, app.content_complexity).payload_bytes
+        remote_ms = (
+            channel.expected_transfer_time_ms(payload)
+            + channel.one_way_ms
+            + codec.decode_time_ms(app.pixels_per_frame)
+        )
+        rows.append(
+            Table1Row(
+                app=name,
+                resolution=f"{app.width_px}x{app.height_px}",
+                triangles=app.triangles,
+                interactive_objects=app.interactive_objects,
+                f_min=app.f_range[0],
+                f_max=app.f_range[1],
+                avg_local_ms=float(np.mean(locals_ms)),
+                min_local_ms=float(np.min(locals_ms)),
+                max_local_ms=float(np.max(locals_ms)),
+                back_size_kb=payload / 1e3,
+                remote_ms=remote_ms,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5: interaction-dependent latency of a single object (Nature tree)
+# ---------------------------------------------------------------------------
+
+
+def fig5_interaction_latency(
+    app_name: str = "Nature", closeness_values: tuple[float, ...] = (0.3, 0.45, 1.0)
+) -> list[tuple[float, float]]:
+    """Reproduce Fig. 5: (closeness, interactive render latency) points.
+
+    The paper's three snapshots of the Nature tree land at 12, 15 and
+    26 ms; closeness sweeps reproduce that span through the LOD model.
+    """
+    app = TETHERED_APPS[app_name] if app_name in TETHERED_APPS else _require_tethered(app_name)
+    return [(c, app.interactive_latency_ms(c)) for c in closeness_values]
+
+
+def _require_tethered(name: str) -> TetheredApp:
+    raise KeyError(f"unknown tethered app {name!r}; known: {sorted(TETHERED_APPS)}")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: foveal rendering latency and frame size vs eccentricity
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One (scene, eccentricity) sample of the foveal-sizing study."""
+
+    scene: str
+    e1_deg: float
+    local_latency_ms: float
+    relative_frame_size: float
+
+
+#: Synthetic Foveated3D-like scene configurations of Fig. 6.
+_FIG6_SCENES: tuple[tuple[str, float, float, float, float], ...] = (
+    # (label, objects, triangles/object, overdraw, fragment cycles)
+    ("400 objects 4k triangles/object", 400, 4000, 1.6, 400.0),
+    ("800 objects 4k triangles/object", 800, 4000, 2.2, 450.0),
+    ("400 objects 8k triangles/object", 400, 8000, 1.9, 900.0),
+)
+
+
+def fig6_foveal_sizing(
+    e1_values_deg: tuple[float, ...] = (5, 10, 15, 20, 25, 30, 35),
+    gpu: GPUConfig | None = None,
+) -> list[Fig6Row]:
+    """Reproduce Fig. 6 on synthetic Foveated3D-style scenes."""
+    gpu_cfg = gpu if gpu is not None else GPUConfig()
+    perf = GPUPerfModel(gpu_cfg)
+    display = DisplayGeometry(1920, 2160)
+    foveation = FoveationModel(display)
+    rows: list[Fig6Row] = []
+    pixels = display.total_pixels * constants.EYES
+    for label, objects, tris_per_obj, overdraw, cycles in _FIG6_SCENES:
+        full = RenderWorkload(
+            vertices=objects * tris_per_obj,
+            fragments=pixels * overdraw,
+            fragment_cycles=cycles,
+            draw_batches=objects,
+        )
+        for e1 in e1_values_deg:
+            plan = foveation.plan(float(e1))
+            area = plan.fovea_fraction
+            fovea_workload = full.scaled(
+                fragment_scale=area, vertex_scale=0.12 + 0.88 * area
+            )
+            rows.append(
+                Fig6Row(
+                    scene=label,
+                    e1_deg=float(e1),
+                    local_latency_ms=perf.render_time_ms(fovea_workload),
+                    relative_frame_size=plan.effective_pixels / plan.native_pixels,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12: overall performance of the design spectrum
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    """Normalized performance of every design on one app."""
+
+    app: str
+    static_speedup: float
+    ffr_speedup: float
+    dfr_speedup: float
+    qvr_speedup: float
+    sw_fps: float
+    qvr_fps: float
+    static_fps: float
+
+
+def fig12_performance(
+    n_frames: int = 300, seed: int = 0, platform: PlatformConfig | None = None
+) -> list[Fig12Row]:
+    """Reproduce Fig. 12 under the default hardware and network."""
+    platform = platform if platform is not None else PlatformConfig()
+    rows: list[Fig12Row] = []
+    for app in TABLE3_ORDER:
+        results = run_comparison(
+            app,
+            systems=("local", "static", "ffr", "dfr", "sw-qvr", "qvr"),
+            platform=platform,
+            n_frames=n_frames,
+            seed=seed,
+        )
+        rows.append(
+            Fig12Row(
+                app=app,
+                static_speedup=speedup_over(results, "static"),
+                ffr_speedup=speedup_over(results, "ffr"),
+                dfr_speedup=speedup_over(results, "dfr"),
+                qvr_speedup=speedup_over(results, "qvr"),
+                sw_fps=results["sw-qvr"].measured_fps,
+                qvr_fps=results["qvr"].measured_fps,
+                static_fps=results["static"].measured_fps,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13: transmitted data and resolution reduction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """Transmission metrics of one app, normalised to remote-only."""
+
+    app: str
+    static_normalized: float
+    ffr_normalized: float
+    qvr_normalized: float
+    resolution_reduction: float
+
+
+def fig13_transmission(
+    n_frames: int = 300, seed: int = 0, platform: PlatformConfig | None = None
+) -> list[Fig13Row]:
+    """Reproduce Fig. 13 under the default hardware and network."""
+    platform = platform if platform is not None else PlatformConfig()
+    rows: list[Fig13Row] = []
+    for app in TABLE3_ORDER:
+        results = run_comparison(
+            app,
+            systems=("remote", "static", "ffr", "qvr"),
+            platform=platform,
+            n_frames=n_frames,
+            seed=seed,
+        )
+        reference = results["remote"].mean_transmitted_bytes
+        rows.append(
+            Fig13Row(
+                app=app,
+                static_normalized=results["static"].mean_transmitted_bytes / reference,
+                ffr_normalized=results["ffr"].mean_transmitted_bytes / reference,
+                qvr_normalized=results["qvr"].mean_transmitted_bytes / reference,
+                resolution_reduction=results["qvr"].mean_resolution_reduction,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14: latency-ratio balancing and FPS over 300 frames
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig14Series:
+    """Per-frame balance and FPS trace of one app under Q-VR."""
+
+    app: str
+    latency_ratios: list[float] = field(default_factory=list)
+    fps: list[float] = field(default_factory=list)
+    e1_deg: list[float] = field(default_factory=list)
+
+
+#: The five high-resolution titles plotted in Fig. 14.
+FIG14_APPS: tuple[str, ...] = ("Doom3-H", "HL2-H", "GRID", "UT3", "Wolf")
+
+
+def fig14_balancing(
+    n_frames: int = 300, seed: int = 0, platform: PlatformConfig | None = None
+) -> list[Fig14Series]:
+    """Reproduce Fig. 14: Q-VR initialised at e1 = 5 degrees."""
+    platform = platform if platform is not None else PlatformConfig()
+    series: list[Fig14Series] = []
+    for app in FIG14_APPS:
+        system = make_system("qvr", get_app(app), platform, seed=seed)
+        result = system.run(n_frames=n_frames, warmup_frames=0)
+        fps = [
+            min(
+                1000.0 / r.gpu_busy_ms if r.gpu_busy_ms > 0 else float("inf"),
+                1000.0 / r.net_busy_ms if r.net_busy_ms > 0 else float("inf"),
+            )
+            for r in result.records
+        ]
+        series.append(
+            Fig14Series(
+                app=app,
+                latency_ratios=result.latency_ratios(),
+                fps=fps,
+                e1_deg=[r.e1_deg for r in result.records],
+            )
+        )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Table 4: best eccentricity across hardware/network configurations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table4Cell:
+    """Steady-state eccentricity for one (frequency, network, app) cell."""
+
+    frequency_mhz: float
+    network: str
+    app: str
+    mean_e1_deg: float
+    meets_fps: bool
+
+
+def table4_eccentricity(
+    n_frames: int = 240,
+    seed: int = 0,
+    frequencies: tuple[float, ...] = GPU_FREQUENCIES_MHZ,
+    networks: tuple[NetworkConditions, ...] = ALL_CONDITIONS,
+    apps: tuple[str, ...] = TABLE3_ORDER,
+) -> list[Table4Cell]:
+    """Reproduce Table 4 (and provide the runs behind Fig. 15)."""
+    cells: list[Table4Cell] = []
+    for freq in frequencies:
+        for network in networks:
+            platform = PlatformConfig(network=network).with_gpu_frequency(freq)
+            for app in apps:
+                system = make_system("qvr", get_app(app), platform, seed=seed)
+                result = system.run(n_frames=n_frames)
+                cells.append(
+                    Table4Cell(
+                        frequency_mhz=freq,
+                        network=network.name,
+                        app=app,
+                        mean_e1_deg=result.mean_e1_deg,
+                        meets_fps=result.meets_target_fps,
+                    )
+                )
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15: normalized system energy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig15Cell:
+    """Normalized Q-VR energy for one (frequency, network, app) cell."""
+
+    frequency_mhz: float
+    network: str
+    app: str
+    normalized_energy: float
+
+
+def fig15_energy(
+    n_frames: int = 240,
+    seed: int = 0,
+    frequencies: tuple[float, ...] = GPU_FREQUENCIES_MHZ,
+    networks: tuple[NetworkConditions, ...] = ALL_CONDITIONS,
+    apps: tuple[str, ...] = TABLE3_ORDER,
+) -> list[Fig15Cell]:
+    """Reproduce Fig. 15: Q-VR energy normalised to local rendering."""
+    accountant = EnergyAccountant()
+    cells: list[Fig15Cell] = []
+    for freq in frequencies:
+        base_platform = PlatformConfig().with_gpu_frequency(freq)
+        baselines = {
+            app: make_system("local", get_app(app), base_platform, seed=seed).run(
+                n_frames=n_frames
+            )
+            for app in apps
+        }
+        for network in networks:
+            platform = PlatformConfig(network=network).with_gpu_frequency(freq)
+            for app in apps:
+                result = make_system("qvr", get_app(app), platform, seed=seed).run(
+                    n_frames=n_frames
+                )
+                cells.append(
+                    Fig15Cell(
+                        frequency_mhz=freq,
+                        network=network.name,
+                        app=app,
+                        normalized_energy=accountant.normalized_energy(
+                            result,
+                            baselines[app],
+                            gpu_frequency_mhz=freq,
+                            network_name=network.name,
+                            has_liwc=True,
+                            has_uca=True,
+                        ),
+                    )
+                )
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.3: design overhead analysis
+# ---------------------------------------------------------------------------
+
+
+def overhead_analysis() -> dict[str, OverheadReport]:
+    """Reproduce the Sec. 4.3 McPAT overhead numbers."""
+    return {"LIWC": estimate_liwc(), "UCA": estimate_uca()}

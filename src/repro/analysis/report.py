@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every benchmark prints its reproduction of a paper table/figure through
+these helpers, so the console output reads like the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with right-padded columns.
+
+    Floats are shown with two decimals; other values via ``str``.
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(label: str, values: Sequence[float], per_line: int = 10) -> str:
+    """Render a numeric series compactly (for Fig. 14-style traces)."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("  " + " ".join(f"{v:7.2f}" for v in chunk))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

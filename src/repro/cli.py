@@ -1,0 +1,183 @@
+"""Command-line interface: run any experiment from the shell.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro compare --app GRID --systems local qvr
+    python -m repro table4 --frames 120
+    python -m repro fig12 --frames 200
+    python -m repro overheads
+
+Each subcommand prints the same ASCII tables the benchmark suite produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.experiments import (
+    fig12_performance,
+    fig15_energy,
+    overhead_analysis,
+    table1_static_characterization,
+    table4_eccentricity,
+)
+from repro.analysis.report import format_table
+from repro.network.conditions import by_name
+from repro.sim.runner import run_comparison, speedup_over
+from repro.sim.systems import PlatformConfig, SYSTEM_NAMES
+from repro.workloads.apps import APPS, TABLE3_ORDER
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Q-VR (ASPLOS 2021) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="run designs on one title")
+    compare.add_argument("--app", default="Doom3-H", choices=sorted(APPS))
+    compare.add_argument(
+        "--systems", nargs="+", default=["local", "static", "qvr"],
+        choices=list(SYSTEM_NAMES),
+    )
+    compare.add_argument("--frames", type=int, default=240)
+    compare.add_argument("--network", default="Wi-Fi")
+    compare.add_argument("--freq", type=float, default=500.0)
+    compare.add_argument("--seed", type=int, default=0)
+
+    fig12 = sub.add_parser("fig12", help="reproduce Fig. 12")
+    fig12.add_argument("--frames", type=int, default=240)
+
+    table4 = sub.add_parser("table4", help="reproduce Table 4")
+    table4.add_argument("--frames", type=int, default=200)
+
+    fig15 = sub.add_parser("fig15", help="reproduce Fig. 15")
+    fig15.add_argument("--frames", type=int, default=200)
+
+    sub.add_parser("table1", help="reproduce Table 1")
+    sub.add_parser("overheads", help="reproduce the Sec. 4.3 overheads")
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    platform = PlatformConfig(network=by_name(args.network)).with_gpu_frequency(args.freq)
+    results = run_comparison(
+        args.app, systems=tuple(args.systems), platform=platform,
+        n_frames=args.frames, seed=args.seed,
+    )
+    rows = [
+        [
+            name, r.mean_latency_ms,
+            f"{speedup_over(results, name, baseline=args.systems[0]):.2f}x",
+            r.measured_fps, r.mean_e1_deg, r.mean_transmitted_bytes / 1e3,
+        ]
+        for name, r in results.items()
+    ]
+    print(
+        format_table(
+            ["design", "latency (ms)", f"vs {args.systems[0]}", "FPS", "e1", "KB/frame"],
+            rows,
+            title=f"{args.app} @ {args.freq:.0f} MHz, {args.network}",
+        )
+    )
+
+
+def _cmd_fig12(args: argparse.Namespace) -> None:
+    rows = fig12_performance(n_frames=args.frames)
+    print(
+        format_table(
+            ["app", "Static", "FFR", "DFR", "Q-VR", "SW-FPS", "Q-VR-FPS"],
+            [
+                [r.app, r.static_speedup, r.ffr_speedup, r.dfr_speedup,
+                 r.qvr_speedup, r.sw_fps, r.qvr_fps]
+                for r in rows
+            ],
+            title="Fig. 12 — normalized performance",
+        )
+    )
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    cells = table4_eccentricity(n_frames=args.frames)
+    grid: dict[tuple[float, str], dict[str, str]] = {}
+    for cell in cells:
+        marker = "" if cell.meets_fps else "*"
+        grid.setdefault((cell.frequency_mhz, cell.network), {})[cell.app] = (
+            f"{cell.mean_e1_deg:.1f}{marker}"
+        )
+    print(
+        format_table(
+            ["Freq", "Network"] + [APPS[a].short_name for a in TABLE3_ORDER],
+            [
+                [f"{f:.0f}", n] + [row[a] for a in TABLE3_ORDER]
+                for (f, n), row in grid.items()
+            ],
+            title="Table 4 — steady-state e1 (deg); * = misses 90 Hz",
+        )
+    )
+
+
+def _cmd_fig15(args: argparse.Namespace) -> None:
+    cells = fig15_energy(n_frames=args.frames)
+    grid: dict[tuple[float, str], dict[str, float]] = {}
+    for cell in cells:
+        grid.setdefault((cell.frequency_mhz, cell.network), {})[cell.app] = (
+            cell.normalized_energy
+        )
+    print(
+        format_table(
+            ["Freq", "Network"] + [APPS[a].short_name for a in TABLE3_ORDER],
+            [
+                [f"{f:.0f}", n] + [row[a] for a in TABLE3_ORDER]
+                for (f, n), row in grid.items()
+            ],
+            title="Fig. 15 — normalized system energy",
+        )
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    rows = table1_static_characterization()
+    print(
+        format_table(
+            ["app", "f range", "avg", "min", "max", "back KB", "Tremote"],
+            [
+                [r.app, f"{r.f_min:.0%}-{r.f_max:.0%}", r.avg_local_ms,
+                 r.min_local_ms, r.max_local_ms, r.back_size_kb, r.remote_ms]
+                for r in rows
+            ],
+            title="Table 1",
+        )
+    )
+
+
+def _cmd_overheads(args: argparse.Namespace) -> None:
+    reports = overhead_analysis()
+    print(
+        format_table(
+            ["block", "area (mm^2)", "power (mW)"],
+            [[name, r.area_mm2, r.power_mw] for name, r in reports.items()],
+            title="Sec. 4.3 — overheads",
+        )
+    )
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "fig12": _cmd_fig12,
+    "table4": _cmd_table4,
+    "fig15": _cmd_fig15,
+    "table1": _cmd_table1,
+    "overheads": _cmd_overheads,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0

@@ -1,0 +1,90 @@
+"""Chunked streaming pipeline latency (render || encode || transmit || decode).
+
+Sec. 2.3 of the paper notes that remote rendering, network transmission and
+video codec work "can be streamed in parallel", and Q-VR's software layer
+adds *parallel streaming* of the per-eye middle/outer layers (Sec. 3.2,
+Fig. 7) to overlap rendering with data transmission.
+
+For a job cut into ``k`` equal chunks flowing through stages with total
+per-stage times ``s_1..s_n``, the classic pipeline completion time is::
+
+    T(k) = sum_i(s_i) / k  +  (k - 1) / k * max_i(s_i)
+
+which approaches ``max_i(s_i)`` as ``k`` grows — exactly the paper's
+"we only count the highest latency portion from the remote side".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+
+__all__ = ["StreamPlan", "pipelined_latency_ms"]
+
+#: Default number of slices a layer stream is cut into.
+DEFAULT_CHUNKS = 8
+
+
+def pipelined_latency_ms(stage_times_ms: list[float] | tuple[float, ...], chunks: int = DEFAULT_CHUNKS) -> float:
+    """Completion time of a chunked multi-stage pipeline.
+
+    Parameters
+    ----------
+    stage_times_ms:
+        Total (un-chunked) time each stage would take alone.
+    chunks:
+        Number of equal slices the payload is divided into.
+    """
+    if chunks < 1:
+        raise CodecError(f"chunks must be >= 1, got {chunks}")
+    times = [float(t) for t in stage_times_ms]
+    if not times:
+        return 0.0
+    if any(t < 0 for t in times):
+        raise CodecError(f"stage times must be >= 0, got {times}")
+    total = sum(times)
+    bottleneck = max(times)
+    return total / chunks + (chunks - 1) / chunks * bottleneck
+
+
+@dataclass(frozen=True)
+class StreamPlan:
+    """A remote-path streaming schedule and its effective latency.
+
+    Attributes
+    ----------
+    render_ms, encode_ms, transmit_ms, decode_ms:
+        Stage totals for the remote path of one frame.
+    propagation_ms:
+        One-way path latency, paid once.
+    chunks:
+        Pipeline slicing factor.
+    """
+
+    render_ms: float
+    encode_ms: float
+    transmit_ms: float
+    decode_ms: float
+    propagation_ms: float
+    chunks: int = DEFAULT_CHUNKS
+
+    @property
+    def stage_times(self) -> tuple[float, float, float, float]:
+        """The four overlappable stage totals."""
+        return (self.render_ms, self.encode_ms, self.transmit_ms, self.decode_ms)
+
+    @property
+    def bottleneck_ms(self) -> float:
+        """The slowest stage (the paper's 'highest latency portion')."""
+        return max(self.stage_times)
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end remote path latency with chunked overlap."""
+        return self.propagation_ms + pipelined_latency_ms(self.stage_times, self.chunks)
+
+    @property
+    def serial_latency_ms(self) -> float:
+        """Latency without any streaming overlap (the naive design)."""
+        return self.propagation_ms + sum(self.stage_times)

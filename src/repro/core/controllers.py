@@ -1,0 +1,191 @@
+"""Eccentricity controllers: fixed (FFR), software-adaptive, and LIWC.
+
+All the collaborative-foveated designs the paper evaluates differ in *who*
+chooses ``e1`` each frame and from *what* information:
+
+* :class:`FixedEccentricityController` — FFR: the classic 5-degree fovea,
+  never adapted;
+* :class:`SoftwareAdaptiveController` — the paper's "pure software
+  implementation of Q-VR": selects eccentricity from the *previous*
+  frame's measured local and remote latencies (it has no access to
+  intermediate hardware data, so it always lags reality by a frame and
+  must wait for rendering to complete);
+* :class:`LIWCController` — wraps :class:`~repro.core.liwc.LIWC`: predicts
+  this frame's latencies from render-setup triangle counts and ACK
+  throughput before rendering completes.
+
+The shared :class:`ControlContext` / :class:`ControlFeedback` records carry
+every signal any controller might need; each controller reads only what its
+design is allowed to see.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.core.liwc import LIWC, LIWCConfig
+from repro.errors import ControllerError
+from repro.motion.dof import GazeDelta, PoseDelta
+
+__all__ = [
+    "ControlContext",
+    "ControlFeedback",
+    "EccentricityController",
+    "FixedEccentricityController",
+    "SoftwareAdaptiveController",
+    "LIWCController",
+]
+
+
+@dataclass(frozen=True)
+class ControlContext:
+    """Hardware-visible state available when a frame's ``e1`` is chosen."""
+
+    pose_delta: PoseDelta
+    gaze_delta: GazeDelta
+    triangles: float
+    fovea_fraction: float
+    periphery_pixels: float
+    ack_throughput_bytes_per_ms: float
+
+
+@dataclass(frozen=True)
+class ControlFeedback:
+    """Measured outcome of a frame, fed back after it completes."""
+
+    measured_local_ms: float
+    measured_remote_ms: float
+    triangles: float
+    fovea_fraction: float
+    periphery_pixels: float
+    payload_bytes: float
+    ack_throughput_bytes_per_ms: float
+
+
+class EccentricityController(ABC):
+    """Interface every per-frame eccentricity policy implements."""
+
+    @abstractmethod
+    def select_e1(self, context: ControlContext) -> float:
+        """Choose the fovea eccentricity for the upcoming frame."""
+
+    @abstractmethod
+    def observe(self, feedback: ControlFeedback) -> None:
+        """Ingest the measured outcome of the frame just completed."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return to the initial state (used between experiment runs)."""
+
+    #: Whether the controller needs to wait for the previous frame's
+    #: rendering to complete before it can decide (software designs do;
+    #: the hardware LIWC does not) — this shapes the execution pipeline.
+    requires_completed_frame: bool = False
+
+
+class FixedEccentricityController(EccentricityController):
+    """FFR: a constant eccentricity (default: the classic 5-degree fovea)."""
+
+    def __init__(self, e1_deg: float = constants.CLASSIC_FOVEA_ECCENTRICITY_DEG) -> None:
+        if e1_deg <= 0:
+            raise ControllerError(f"e1 must be > 0, got {e1_deg}")
+        self.e1_deg = e1_deg
+
+    def select_e1(self, context: ControlContext) -> float:
+        return self.e1_deg
+
+    def observe(self, feedback: ControlFeedback) -> None:
+        """FFR ignores feedback by design."""
+
+    def reset(self) -> None:
+        """Stateless: nothing to reset."""
+
+
+class SoftwareAdaptiveController(EccentricityController):
+    """The pure-software Q-VR baseline (Sec. 6.1, "SW-FPS").
+
+    Selects eccentricity *"based on previous local and remote rendering
+    latency instead of using the intermediate hardware data"*: a
+    proportional step on the last measured imbalance, clamped to the same
+    +/-5 degree per-frame authority as LIWC.  Because the decision depends
+    on completed-frame measurements, :attr:`requires_completed_frame` is
+    True and the pipeline builder serialises control logic behind the
+    previous frame (Fig. 4-B).
+    """
+
+    requires_completed_frame = True
+
+    def __init__(
+        self,
+        gain_deg_per_ms: float = 0.8,
+        min_e1_deg: float = constants.MIN_ECCENTRICITY_DEG,
+        max_e1_deg: float = constants.MAX_ECCENTRICITY_DEG,
+        initial_e1_deg: float | None = None,
+    ) -> None:
+        if gain_deg_per_ms <= 0:
+            raise ControllerError(f"gain must be > 0, got {gain_deg_per_ms}")
+        if not 0 < min_e1_deg <= max_e1_deg:
+            raise ControllerError("invalid eccentricity bounds")
+        self.gain = gain_deg_per_ms
+        self.min_e1 = min_e1_deg
+        self.max_e1 = max_e1_deg
+        self.initial_e1 = initial_e1_deg if initial_e1_deg is not None else min_e1_deg
+        self.e1_deg = self.initial_e1
+        self._last_imbalance_ms: float | None = None
+
+    def select_e1(self, context: ControlContext) -> float:
+        if self._last_imbalance_ms is not None:
+            step = float(np.clip(self.gain * self._last_imbalance_ms, -5.0, 5.0))
+            self.e1_deg = float(np.clip(self.e1_deg + step, self.min_e1, self.max_e1))
+        return self.e1_deg
+
+    def observe(self, feedback: ControlFeedback) -> None:
+        self._last_imbalance_ms = (
+            feedback.measured_remote_ms - feedback.measured_local_ms
+        )
+
+    def reset(self) -> None:
+        self.e1_deg = self.initial_e1
+        self._last_imbalance_ms = None
+
+
+class LIWCController(EccentricityController):
+    """Adapter exposing :class:`~repro.core.liwc.LIWC` as a controller."""
+
+    requires_completed_frame = False
+
+    def __init__(self, config: LIWCConfig | None = None) -> None:
+        self.liwc = LIWC(config)
+
+    @property
+    def e1_deg(self) -> float:
+        """Current eccentricity held by the LIWC state machine."""
+        return self.liwc.e1_deg
+
+    def select_e1(self, context: ControlContext) -> float:
+        return self.liwc.select(
+            pose_delta=context.pose_delta,
+            gaze_delta=context.gaze_delta,
+            triangles=context.triangles,
+            fovea_fraction=context.fovea_fraction,
+            periphery_pixels=context.periphery_pixels,
+            ack_throughput_bytes_per_ms=context.ack_throughput_bytes_per_ms,
+        )
+
+    def observe(self, feedback: ControlFeedback) -> None:
+        self.liwc.observe(
+            measured_local_ms=feedback.measured_local_ms,
+            measured_remote_ms=feedback.measured_remote_ms,
+            triangles=feedback.triangles,
+            fovea_fraction=feedback.fovea_fraction,
+            periphery_pixels=feedback.periphery_pixels,
+            payload_bytes=feedback.payload_bytes,
+            ack_throughput_bytes_per_ms=feedback.ack_throughput_bytes_per_ms,
+        )
+
+    def reset(self) -> None:
+        self.liwc.reset()

@@ -1,0 +1,132 @@
+"""Partition engine: from an eccentricity decision to concrete work.
+
+Implements the software-layer setup of Fig. 7: given a frame's full
+workload, a gaze point and the selected ``e1``, it
+
+* builds the :class:`~repro.core.foveation.PartitionPlan` (with the Eq. (1)
+  adaptive ``*e2``),
+* splits the rendering workload into the local *fovea channel* and the
+  remote *periphery channels*, and
+* computes the transmitted payload of the middle/outer layer streams.
+
+Workload split model: fragments scale with the rendered area of each
+region; vertices (and draw batches) scale sub-linearly because frustum/
+scissor culling is imperfect — a *culling residue* of the scene's geometry
+is processed regardless of viewport size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.h264 import H264Model
+from repro.core.foveation import FoveationModel, PartitionPlan
+from repro.errors import FoveationError
+from repro.gpu.perf_model import RenderWorkload
+from repro.motion.dof import GazePoint
+
+__all__ = ["FramePartition", "PartitionEngine", "split_local_workload", "split_remote_workload"]
+
+#: Fraction of scene geometry processed even for a tiny viewport
+#: (coarse-grained culling leaves this residue).
+CULLING_RESIDUE = 0.12
+
+#: Geometry share the remote server always processes (shared scene graph,
+#: shadow casters) even when the periphery is small.
+REMOTE_GEOMETRY_FLOOR = 0.20
+
+
+def split_local_workload(full: RenderWorkload, plan: PartitionPlan) -> RenderWorkload:
+    """Local fovea-channel workload for a partition plan.
+
+    Fragments scale with the fovea's share of the native frame area;
+    vertices and batches keep the culling residue.
+    """
+    area = plan.fovea_fraction
+    vertex_scale = CULLING_RESIDUE + (1.0 - CULLING_RESIDUE) * area
+    return full.scaled(fragment_scale=area, vertex_scale=vertex_scale)
+
+
+def split_remote_workload(full: RenderWorkload, plan: PartitionPlan) -> RenderWorkload:
+    """Remote periphery-channel workload (what the server renders).
+
+    The server shades the *down-sampled* periphery pixels; its geometry
+    load covers the scene outside the fovea plus a floor for shared work.
+    """
+    fragment_scale = plan.periphery_pixels / plan.native_pixels
+    vertex_scale = REMOTE_GEOMETRY_FLOOR + (1.0 - REMOTE_GEOMETRY_FLOOR) * (
+        1.0 - plan.fovea_fraction
+    )
+    return full.scaled(fragment_scale=fragment_scale, vertex_scale=vertex_scale)
+
+
+@dataclass(frozen=True)
+class FramePartition:
+    """A fully resolved per-frame partition decision.
+
+    Attributes
+    ----------
+    plan:
+        The geometric foveation plan (e1, *e2, scales, pixel counts).
+    local:
+        Fovea-channel workload for the mobile GPU.
+    remote:
+        Periphery-channel workload for the rendering server.
+    middle_bytes, outer_bytes:
+        Compressed payload of the two periphery streams.
+    """
+
+    plan: PartitionPlan
+    local: RenderWorkload
+    remote: RenderWorkload
+    middle_bytes: float
+    outer_bytes: float
+
+    @property
+    def transmitted_bytes(self) -> float:
+        """Total downlink payload for this frame."""
+        return self.middle_bytes + self.outer_bytes
+
+
+class PartitionEngine:
+    """Builds :class:`FramePartition` objects for successive frames.
+
+    Parameters
+    ----------
+    foveation:
+        Display/MAR model used for the geometric plan.
+    codec:
+        Rate model used to size the periphery streams.
+    """
+
+    def __init__(self, foveation: FoveationModel, codec: H264Model | None = None) -> None:
+        self.foveation = foveation
+        self.codec = codec if codec is not None else H264Model()
+
+    def partition(
+        self,
+        full: RenderWorkload,
+        e1_deg: float,
+        gaze: GazePoint | None = None,
+        content_complexity: float = 0.5,
+        e2_deg: float | None = None,
+    ) -> FramePartition:
+        """Resolve one frame's partition at the given fovea eccentricity."""
+        if e1_deg < 0:
+            raise FoveationError(f"e1 must be >= 0, got {e1_deg}")
+        gaze_x = gaze.x_px if gaze is not None else None
+        gaze_y = gaze.y_px if gaze is not None else None
+        plan = self.foveation.plan(e1_deg, e2_deg, gaze_x, gaze_y)
+        middle = self.codec.encode_layer(
+            plan.middle_pixels, content_complexity, plan.middle_scale
+        )
+        outer = self.codec.encode_layer(
+            plan.outer_pixels, content_complexity, plan.outer_scale
+        )
+        return FramePartition(
+            plan=plan,
+            local=split_local_workload(full, plan),
+            remote=split_remote_workload(full, plan),
+            middle_bytes=middle.payload_bytes,
+            outer_bytes=outer.payload_bytes,
+        )

@@ -1,0 +1,76 @@
+"""Perception-constraint checking (stand-in for the paper's user survey).
+
+Sec. 3.1 of the paper runs a 50-candidate image-quality survey and concludes
+that *participants observe no visible quality difference between eccentricity
+selections as long as the target MAR is satisfied*.  The survey's output is
+therefore a binary constraint, which we encode directly: a partition plan
+"passes the survey" iff every periphery layer is sampled at least as finely
+as the MAR model demands at that layer's most acuity-critical (inner)
+eccentricity, and the fovea layer is at native resolution.
+
+This module also provides a small quality-score model used by the
+``perception_survey`` example to reproduce the survey's *shape*: scores stay
+flat while the MAR constraint holds and fall off once sampling drops below
+the MAR requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.foveation import FoveationModel, PartitionPlan
+from repro.errors import FoveationError
+
+__all__ = ["SurveyVerdict", "check_plan", "quality_score"]
+
+
+@dataclass(frozen=True)
+class SurveyVerdict:
+    """Outcome of the MAR-constraint check for one partition plan.
+
+    Attributes
+    ----------
+    passes:
+        True when no layer violates its MAR sampling requirement.
+    middle_margin, outer_margin:
+        Ratio of allowed to actual sampling factor per layer; >= 1 means the
+        layer satisfies its constraint (with slack), < 1 means violation.
+    """
+
+    passes: bool
+    middle_margin: float
+    outer_margin: float
+
+
+def check_plan(model: FoveationModel, plan: PartitionPlan) -> SurveyVerdict:
+    """Check a plan against the MAR constraints (the survey's conclusion).
+
+    The maximum admissible sampling factor of a periphery layer is the MAR
+    at its inner eccentricity divided by the display's native pixel pitch;
+    the plan's actual factor must not exceed it.
+    """
+    allowed_middle, allowed_outer = model.layer_scales(plan.e1_deg, plan.e2_deg)
+    if plan.middle_scale <= 0 or plan.outer_scale <= 0:
+        raise FoveationError("layer scales must be positive")
+    middle_margin = allowed_middle / plan.middle_scale
+    outer_margin = allowed_outer / plan.outer_scale
+    return SurveyVerdict(
+        passes=middle_margin >= 1.0 - 1e-9 and outer_margin >= 1.0 - 1e-9,
+        middle_margin=middle_margin,
+        outer_margin=outer_margin,
+    )
+
+
+def quality_score(model: FoveationModel, plan: PartitionPlan) -> float:
+    """Mean-opinion-style score in [0, 5] for a partition plan.
+
+    Reproduces the survey's reported behaviour: a constant ceiling score
+    while the MAR constraint is satisfied, degrading smoothly with the
+    worst-layer violation margin otherwise.  The exact fall-off slope is not
+    specified by the paper; we use a conservative linear penalty.
+    """
+    verdict = check_plan(model, plan)
+    worst = min(verdict.middle_margin, verdict.outer_margin)
+    if worst >= 1.0:
+        return 5.0
+    return max(0.0, 5.0 * worst)

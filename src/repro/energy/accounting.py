@@ -1,0 +1,125 @@
+"""System-energy accounting over simulation results (paper Fig. 15).
+
+Converts a :class:`~repro.sim.metrics.SimulationResult` into per-frame and
+normalised system energy: mobile GPU + radio + video decoder + LIWC + UCA.
+The remote server's energy is excluded, as in the paper (it evaluates the
+*mobile* system's energy efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.power import AcceleratorPower, GPUPowerModel, RADIO_POWER, RadioPowerModel
+from repro.errors import ConfigurationError
+from repro.sim.metrics import SimulationResult
+
+__all__ = ["EnergyBreakdown", "EnergyAccountant"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Mean per-frame energy split for one simulation (millijoules)."""
+
+    gpu_mj: float
+    radio_mj: float
+    decoder_mj: float
+    liwc_mj: float
+    uca_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        """Total mobile system energy per frame."""
+        return self.gpu_mj + self.radio_mj + self.decoder_mj + self.liwc_mj + self.uca_mj
+
+
+class EnergyAccountant:
+    """Computes Fig. 15-style energy numbers from simulation results.
+
+    Parameters
+    ----------
+    gpu_power:
+        GPU power model (DVFS-scaled).
+    radio_power:
+        Radio profile; when omitted it is looked up from the network name
+        recorded in the run's platform.
+    accelerators:
+        LIWC/UCA/decoder powers.
+    """
+
+    def __init__(
+        self,
+        gpu_power: GPUPowerModel | None = None,
+        accelerators: AcceleratorPower | None = None,
+    ) -> None:
+        self.gpu_power = gpu_power if gpu_power is not None else GPUPowerModel()
+        self.accelerators = accelerators if accelerators is not None else AcceleratorPower()
+
+    def breakdown(
+        self,
+        result: SimulationResult,
+        gpu_frequency_mhz: float,
+        network_name: str,
+        has_liwc: bool = False,
+        has_uca: bool = False,
+    ) -> EnergyBreakdown:
+        """Mean per-frame energy for one completed run."""
+        if network_name not in RADIO_POWER:
+            raise ConfigurationError(
+                f"unknown network {network_name!r}; known: {sorted(RADIO_POWER)}"
+            )
+        radio_model = RADIO_POWER[network_name]
+        records = result.records[result.warmup_frames :] or result.records
+        if not records:
+            raise ConfigurationError("result has no frames to account")
+
+        # Frame span: steady-state inter-display interval.
+        if len(records) >= 2:
+            span_ms = (records[-1].display_ms - records[0].display_ms) / (len(records) - 1)
+        else:
+            span_ms = records[0].pipeline_latency_ms
+        span_ms = max(span_ms, 1e-6)
+
+        gpu = radio = decoder = liwc = uca = 0.0
+        uses_radio = any(r.net_busy_ms > 0 for r in records)
+        for r in records:
+            gpu += self.gpu_power.energy_mj(r.gpu_busy_ms, span_ms, gpu_frequency_mhz)
+            if uses_radio:
+                radio += radio_model.energy_mj(r.net_busy_ms, span_ms)
+            decoder += self.accelerators.decoder_energy_mj(r.vd_busy_ms)
+            if has_liwc:
+                liwc += self.accelerators.liwc_energy_mj(span_ms)
+            if has_uca:
+                uca += self.accelerators.uca_energy_mj(r.uca_busy_ms)
+        n = float(len(records))
+        return EnergyBreakdown(
+            gpu_mj=gpu / n,
+            radio_mj=radio / n,
+            decoder_mj=decoder / n,
+            liwc_mj=liwc / n,
+            uca_mj=uca / n,
+        )
+
+    def normalized_energy(
+        self,
+        system_result: SimulationResult,
+        baseline_result: SimulationResult,
+        gpu_frequency_mhz: float,
+        network_name: str,
+        has_liwc: bool = False,
+        has_uca: bool = False,
+    ) -> float:
+        """System energy normalised to the local-rendering baseline.
+
+        Both runs are accounted at the same GPU frequency; the baseline
+        uses no radio/accelerators (traditional local rendering).
+        """
+        system = self.breakdown(
+            system_result, gpu_frequency_mhz, network_name, has_liwc, has_uca
+        )
+        baseline = self.breakdown(
+            baseline_result, gpu_frequency_mhz, network_name, False, False
+        )
+        if baseline.total_mj <= 0:
+            raise ConfigurationError("baseline energy must be positive")
+        return system.total_mj / baseline.total_mj

@@ -1,0 +1,129 @@
+"""Component power models for the mobile VR system (paper Sec. 6.3).
+
+The energy study normalises Q-VR's *system* energy (mobile GPU + network
+module + video decoder + LIWC + UCA) to the traditional local-rendering
+design.  Power numbers follow the sources the paper cites:
+
+* **GPU** — a mobile-class GPU with DVFS: dynamic power scales roughly
+  with ``f * V^2`` and voltage tracks frequency on the mobile DVFS curve,
+  giving the familiar superlinear ``(f/f0)^2.4`` dynamic scaling plus a
+  static leakage floor (Jin et al., "Towards accurate GPU power modeling
+  for smartphones" — the paper's ref [25]).
+* **Network radios** — Wi-Fi / LTE / 5G active receive powers and idle
+  tails from Huang et al.'s LTE measurement study (the paper's ref [23]).
+* **LIWC / UCA** — the McPAT-derived 25 mW and 94 mW of Sec. 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["GPUPowerModel", "RadioPowerModel", "RADIO_POWER", "AcceleratorPower"]
+
+#: Reference frequency the GPU power numbers are specified at.
+_REFERENCE_FREQ_MHZ = constants.DEFAULT_GPU_FREQ_MHZ
+
+#: DVFS exponent of dynamic power versus frequency (f * V(f)^2).
+_DVFS_EXPONENT = 2.4
+
+
+@dataclass(frozen=True)
+class GPUPowerModel:
+    """Mobile GPU power: leakage floor plus DVFS-scaled dynamic power.
+
+    Attributes
+    ----------
+    dynamic_w_at_reference:
+        Dynamic power when fully busy at the 500 MHz reference clock.
+    static_w:
+        Leakage + always-on power while the GPU domain is powered.
+    """
+
+    dynamic_w_at_reference: float = 3.2
+    static_w: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.dynamic_w_at_reference <= 0 or self.static_w < 0:
+            raise ConfigurationError("GPU power parameters must be positive")
+
+    def dynamic_w(self, frequency_mhz: float) -> float:
+        """Dynamic power when busy at a given clock."""
+        if frequency_mhz <= 0:
+            raise ConfigurationError(f"frequency must be > 0, got {frequency_mhz}")
+        return self.dynamic_w_at_reference * (frequency_mhz / _REFERENCE_FREQ_MHZ) ** _DVFS_EXPONENT
+
+    def energy_mj(self, busy_ms: float, frame_span_ms: float, frequency_mhz: float) -> float:
+        """Energy over one frame: dynamic while busy, static for the span."""
+        if busy_ms < 0 or frame_span_ms < 0:
+            raise ConfigurationError("durations must be >= 0")
+        busy = min(busy_ms, frame_span_ms) if frame_span_ms > 0 else busy_ms
+        return self.dynamic_w(frequency_mhz) * busy + self.static_w * frame_span_ms
+
+
+@dataclass(frozen=True)
+class RadioPowerModel:
+    """Wireless modem power: active receive power plus a post-transfer tail.
+
+    Attributes
+    ----------
+    active_w:
+        Power while actively receiving.
+    tail_w:
+        Power in the high-energy tail state after a transfer.
+    tail_ms:
+        Tail duration per transfer burst.
+    idle_w:
+        Baseline connected-idle power.
+    """
+
+    active_w: float
+    tail_w: float
+    tail_ms: float
+    idle_w: float
+
+    def energy_mj(self, active_ms: float, frame_span_ms: float) -> float:
+        """Radio energy for one frame with ``active_ms`` of receive time."""
+        if active_ms < 0 or frame_span_ms < 0:
+            raise ConfigurationError("durations must be >= 0")
+        active = min(active_ms, frame_span_ms) if frame_span_ms > 0 else active_ms
+        tail = min(self.tail_ms, max(frame_span_ms - active, 0.0)) if active > 0 else 0.0
+        idle = max(frame_span_ms - active - tail, 0.0)
+        return self.active_w * active + self.tail_w * tail + self.idle_w * idle
+
+
+#: Radio power profiles per network technology (Huang et al. for LTE;
+#: Wi-Fi numbers from the same measurement literature).  The Early 5G
+#: profile follows the paper's Sec. 6.3 premise that "the power
+#: consumption of the network module is typically less critical than that
+#: of the local GPU" and that higher throughput improves energy
+#: efficiency: its active power sits near LTE's while its transfers are
+#: far shorter.
+RADIO_POWER: dict[str, RadioPowerModel] = {
+    "Wi-Fi": RadioPowerModel(active_w=0.9, tail_w=0.25, tail_ms=8.0, idle_w=0.08),
+    "4G LTE": RadioPowerModel(active_w=2.1, tail_w=1.1, tail_ms=10.0, idle_w=0.12),
+    "Early 5G": RadioPowerModel(active_w=1.9, tail_w=0.8, tail_ms=7.0, idle_w=0.12),
+}
+
+
+@dataclass(frozen=True)
+class AcceleratorPower:
+    """Fixed-function block powers (Sec. 4.3 McPAT results)."""
+
+    liwc_w: float = 0.025
+    uca_w: float = 0.094
+    video_decoder_w: float = 0.45
+
+    def liwc_energy_mj(self, frame_span_ms: float) -> float:
+        """LIWC energy: always on while the system runs (worst case)."""
+        return self.liwc_w * frame_span_ms
+
+    def uca_energy_mj(self, busy_ms: float) -> float:
+        """UCA energy while processing tiles (both units)."""
+        return self.uca_w * busy_ms
+
+    def decoder_energy_mj(self, busy_ms: float) -> float:
+        """Hardware video decoder energy while decoding."""
+        return self.video_decoder_w * busy_ms

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Q-VR reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the library's failures without masking programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class SchedulingError(ReproError):
+    """The discrete-event scheduler was given an invalid task graph."""
+
+
+class FoveationError(ReproError):
+    """Foveation parameters violate the MAR/geometry constraints."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or trace request is invalid."""
+
+
+class NetworkError(ReproError):
+    """A network channel was configured or used incorrectly."""
+
+
+class CodecError(ReproError):
+    """Video codec model received invalid frame parameters."""
+
+
+class ControllerError(ReproError):
+    """An eccentricity controller was driven with inconsistent state."""

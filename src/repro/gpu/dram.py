@@ -1,0 +1,43 @@
+"""DRAM interface timing model.
+
+Converts byte traffic into milliseconds for the Table 2 memory interface
+(16 bytes/cycle, 8 channels).  Streaming accesses (framebuffer scan, video
+surfaces) achieve near-peak efficiency; scattered texture misses see a
+lower effective bandwidth because of row-activate overheads — the
+``efficiency`` knob captures that distinction without simulating banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+
+__all__ = ["DRAMModel", "STREAMING_EFFICIENCY", "SCATTERED_EFFICIENCY"]
+
+#: Effective fraction of peak bandwidth for long sequential bursts.
+STREAMING_EFFICIENCY = 0.90
+
+#: Effective fraction of peak bandwidth for scattered cache-miss traffic.
+SCATTERED_EFFICIENCY = 0.65
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth/latency model for the SoC DRAM interface."""
+
+    config: GPUConfig
+
+    @property
+    def peak_bytes_per_ms(self) -> float:
+        """Peak interface bandwidth in bytes per millisecond."""
+        return self.config.dram_bandwidth_bytes_per_ms
+
+    def transfer_ms(self, traffic_bytes: float, efficiency: float = STREAMING_EFFICIENCY) -> float:
+        """Time to move ``traffic_bytes`` at the given access efficiency."""
+        if traffic_bytes < 0:
+            raise ConfigurationError(f"traffic must be >= 0, got {traffic_bytes}")
+        if not 0 < efficiency <= 1:
+            raise ConfigurationError(f"efficiency must be in (0, 1], got {efficiency}")
+        return traffic_bytes / (self.peak_bytes_per_ms * efficiency)

@@ -1,0 +1,102 @@
+"""Mobile GPU facade: rendering plus the GPU-executed post passes.
+
+Bundles the per-frame timing model with the costs of the passes that the
+*baseline* designs execute on the GPU itself — composition and ATW — which
+is precisely the contention Q-VR's UCA removes (Sec. 2.3, Fig. 4-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.gpu.config import GPUConfig
+from repro.gpu.dram import DRAMModel, STREAMING_EFFICIENCY
+from repro.gpu.perf_model import FrameTiming, GPUPerfModel, RenderWorkload
+
+__all__ = ["MobileGPU", "PostPassCost"]
+
+#: Shader cycles per pixel for ATW (lens distortion + reprojection +
+#: bilinear filter) when executed as a GPU compute pass.
+_ATW_CYCLES_PER_PIXEL = 24.0
+
+#: Shader cycles per pixel for foveated layer composition on the GPU
+#: (3-layer blend + MSAA along layer borders).
+_FOVEATED_COMPOSITION_CYCLES_PER_PIXEL = 30.0
+
+#: Shader cycles per pixel for the *static* design's composition, which is
+#: heavier: depth-based embedding of local objects into the streamed
+#: background plus collision detection (Sec. 1 challenge 4).
+_STATIC_COMPOSITION_CYCLES_PER_PIXEL = 45.0
+
+#: Pipeline drain/refill penalty each time composition or ATW preempts the
+#: rendering stream on the GPU, in milliseconds.
+PREEMPTION_PENALTY_MS = 0.35
+
+#: Bytes read+written per composed pixel (source layers + destination).
+_COMPOSITION_BYTES_PER_PIXEL = 20.0
+
+#: Bytes read+written per ATW output pixel (texture fetch + store).
+_ATW_BYTES_PER_PIXEL = 16.0
+
+
+@dataclass(frozen=True)
+class PostPassCost:
+    """Cost of one GPU-executed post pass (composition or ATW)."""
+
+    compute_ms: float
+    memory_ms: float
+    preemption_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Wall time the pass occupies the GPU."""
+        return max(self.compute_ms, self.memory_ms) + self.preemption_ms
+
+
+class MobileGPU:
+    """The local SoC GPU: rendering, and post passes when no UCA exists."""
+
+    def __init__(self, config: GPUConfig | None = None) -> None:
+        self.config = config if config is not None else GPUConfig()
+        self.perf = GPUPerfModel(self.config)
+        self.dram = DRAMModel(self.config)
+
+    # -- rendering -----------------------------------------------------------
+
+    def frame_timing(self, workload: RenderWorkload) -> FrameTiming:
+        """Stage breakdown for rendering one frame."""
+        return self.perf.frame_timing(workload)
+
+    def render_time_ms(self, workload: RenderWorkload) -> float:
+        """Render time for one frame in milliseconds."""
+        return self.perf.render_time_ms(workload)
+
+    # -- GPU-executed post passes (baseline designs) --------------------------
+
+    def _post_pass(self, pixels: float, cycles_per_pixel: float, bytes_per_pixel: float) -> PostPassCost:
+        if pixels < 0:
+            raise WorkloadError(f"pixels must be >= 0, got {pixels}")
+        compute_ms = pixels * cycles_per_pixel / self.config.shading_rate_per_ms
+        memory_ms = self.dram.transfer_ms(pixels * bytes_per_pixel, STREAMING_EFFICIENCY)
+        return PostPassCost(
+            compute_ms=compute_ms,
+            memory_ms=memory_ms,
+            preemption_ms=PREEMPTION_PENALTY_MS,
+        )
+
+    def atw_cost(self, pixels: float) -> PostPassCost:
+        """ATW executed on the GPU (all non-UCA designs)."""
+        return self._post_pass(pixels, _ATW_CYCLES_PER_PIXEL, _ATW_BYTES_PER_PIXEL)
+
+    def foveated_composition_cost(self, pixels: float) -> PostPassCost:
+        """Three-layer foveated composition on the GPU (FFR/DFR designs)."""
+        return self._post_pass(
+            pixels, _FOVEATED_COMPOSITION_CYCLES_PER_PIXEL, _COMPOSITION_BYTES_PER_PIXEL
+        )
+
+    def static_composition_cost(self, pixels: float) -> PostPassCost:
+        """Static collaborative composition: depth embedding + collision."""
+        return self._post_pass(
+            pixels, _STATIC_COMPOSITION_CYCLES_PER_PIXEL, _COMPOSITION_BYTES_PER_PIXEL
+        )

@@ -1,0 +1,80 @@
+"""Tiled rasteriser model (Table 2: 16x16 tiled rasterization).
+
+Estimates the geometry front-end costs of a tile-based mobile GPU: triangle
+setup, tile binning (how many tiles each triangle touches) and the raster
+traversal work.  Outputs are *cycles*, converted to time by the perf model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+
+__all__ = ["RasterEstimate", "RasterModel"]
+
+#: Effective cycles to set up one triangle.  The raster engine is a parallel
+#: fixed-function block processing multiple primitives per clock, so these
+#: are *amortised* cycles per item, not serial latencies.
+_TRIANGLE_SETUP_CYCLES = 0.5
+
+#: Amortised cycles to append one (triangle, tile) pair to a bin list.
+_BIN_INSERT_CYCLES = 0.25
+
+#: Amortised cycles for the traversal engine to walk one tile of a triangle.
+_TILE_WALK_CYCLES = 1.0
+
+
+@dataclass(frozen=True)
+class RasterEstimate:
+    """Raster front-end cost estimate for one frame."""
+
+    triangles: float
+    tiles_per_triangle: float
+    setup_cycles: float
+    binning_cycles: float
+    traversal_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Total raster front-end cycles."""
+        return self.setup_cycles + self.binning_cycles + self.traversal_cycles
+
+
+class RasterModel:
+    """Analytic model of the tiled raster front end."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+
+    def tiles_per_triangle(self, fragments: float, triangles: float) -> float:
+        """Mean tiles touched per triangle.
+
+        A triangle covering ``a`` pixels touches roughly
+        ``(sqrt(a)/T + 1)^2`` tiles of side ``T`` (a square-footprint
+        approximation that is exact for axis-aligned squares and within a
+        small constant for realistic triangle shapes).
+        """
+        if triangles <= 0:
+            return 0.0
+        if fragments < 0:
+            raise ConfigurationError(f"fragments must be >= 0, got {fragments}")
+        mean_area = fragments / triangles
+        side = math.sqrt(max(mean_area, 0.0))
+        tile = self.config.raster_tile_px
+        return (side / tile + 1.0) ** 2
+
+    def estimate(self, triangles: float, fragments: float) -> RasterEstimate:
+        """Estimate raster cycles for ``triangles`` covering ``fragments``."""
+        if triangles < 0:
+            raise ConfigurationError(f"triangles must be >= 0, got {triangles}")
+        tiles = self.tiles_per_triangle(fragments, triangles)
+        return RasterEstimate(
+            triangles=triangles,
+            tiles_per_triangle=tiles,
+            setup_cycles=triangles * _TRIANGLE_SETUP_CYCLES,
+            binning_cycles=triangles * tiles * _BIN_INSERT_CYCLES,
+            traversal_cycles=triangles * tiles * _TILE_WALK_CYCLES,
+        )

@@ -1,0 +1,44 @@
+"""Remote rendering server model (Sec. 5: chiplet-based 8x MCM multi-GPU).
+
+The remote side contributes render time and encode time, both of which the
+evaluation pipelines overlap with network streaming; the model therefore
+exposes per-stage latencies rather than a single lump.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.gpu.config import GPUConfig, RemoteServerConfig
+from repro.gpu.perf_model import GPUPerfModel, RenderWorkload
+
+__all__ = ["RemoteRenderer"]
+
+
+class RemoteRenderer:
+    """A multi-GPU rendering server driven in mobile-GPU-equivalent units.
+
+    Render time is estimated as the mobile-baseline render time of the same
+    workload divided by the server's effective aggregate speedup; this keeps
+    a single calibrated workload model for both ends, exactly as the paper's
+    methodology does (one ATTILA config for the client, one scaled multi-GPU
+    config for the server).
+    """
+
+    def __init__(
+        self,
+        server: RemoteServerConfig | None = None,
+        reference_gpu: GPUConfig | None = None,
+    ) -> None:
+        self.server = server if server is not None else RemoteServerConfig()
+        self.reference = GPUPerfModel(reference_gpu if reference_gpu is not None else GPUConfig())
+
+    def render_time_ms(self, workload: RenderWorkload) -> float:
+        """Server-side render time for a workload, in milliseconds."""
+        mobile_equivalent = self.reference.render_time_ms(workload)
+        return mobile_equivalent / self.server.effective_speedup
+
+    def encode_time_ms(self, pixels: float) -> float:
+        """Hardware video-encode time for ``pixels`` output pixels."""
+        if pixels < 0:
+            raise WorkloadError(f"pixels must be >= 0, got {pixels}")
+        return pixels / self.server.encode_rate_px_per_ms

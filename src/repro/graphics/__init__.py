@@ -1,0 +1,22 @@
+"""Functional graphics pipeline: layers, lens, ATW, composition, fusion."""
+
+from repro.graphics.atw import bilinear_sample, reproject
+from repro.graphics.composition import compose, layer_weights
+from repro.graphics.frame import FrameLayers, LayerImage
+from repro.graphics.geometry import DrawBatch, SceneGeometry
+from repro.graphics.lens import LensModel
+from repro.graphics.unified_filter import classify_tiles_functional, unified_filter
+
+__all__ = [
+    "bilinear_sample",
+    "reproject",
+    "compose",
+    "layer_weights",
+    "FrameLayers",
+    "LayerImage",
+    "DrawBatch",
+    "SceneGeometry",
+    "LensModel",
+    "classify_tiles_functional",
+    "unified_filter",
+]

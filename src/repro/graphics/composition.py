@@ -1,0 +1,86 @@
+"""Foveated composition (Eq. 3 left): blend the three layers into a frame.
+
+Composition overlays the fovea/middle/outer layers and smooths the
+resolution gradient between them with MSAA-style averaging along the layer
+borders: within a blend band around each border radius, the output is a
+convex combination of the adjacent layers' pixels — ``X = (1/M) sum_i S_i``
+in the paper's notation.  The per-pixel layer weights are a function of
+geometry only (gaze centre, radii, band width), which makes the whole
+operator linear in the layer pixel values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphics.frame import FrameLayers
+
+__all__ = ["layer_weights", "compose"]
+
+
+def layer_weights(
+    height: int,
+    width: int,
+    gaze_x: float,
+    gaze_y: float,
+    r1: float,
+    r2: float,
+    blend_px: float = 4.0,
+) -> np.ndarray:
+    """Per-pixel convex weights of the three layers.
+
+    Returns an array of shape (3, H, W) with non-negative entries that sum
+    to 1 at every pixel: weight 0 is the fovea layer share, 1 the middle,
+    2 the outer.  Inside a blend band of ``blend_px`` native pixels around
+    each border radius, the adjacent layers are linearly cross-faded (the
+    MSAA averaging of Eq. (3)).
+    """
+    if height <= 0 or width <= 0:
+        raise ConfigurationError("frame dimensions must be positive")
+    if blend_px < 0:
+        raise ConfigurationError(f"blend_px must be >= 0, got {blend_px}")
+    if not 0 <= r1 <= r2:
+        raise ConfigurationError(f"need 0 <= r1 <= r2, got r1={r1}, r2={r2}")
+    grid_y, grid_x = np.meshgrid(
+        np.arange(height, dtype=float), np.arange(width, dtype=float), indexing="ij"
+    )
+    radius = np.hypot(grid_x - gaze_x, grid_y - gaze_y)
+
+    def _ramp(r: np.ndarray, border: float) -> np.ndarray:
+        """0 well inside the border, 1 well outside, linear in the band."""
+        if blend_px == 0:
+            return (r >= border).astype(float)
+        return np.clip((r - (border - blend_px / 2.0)) / blend_px, 0.0, 1.0)
+
+    outside_r1 = _ramp(radius, r1)
+    outside_r2 = _ramp(radius, r2)
+    w_fovea = 1.0 - outside_r1
+    w_outer = outside_r2
+    w_middle = np.clip(outside_r1 - outside_r2, 0.0, 1.0)
+    return np.stack([w_fovea, w_middle, w_outer])
+
+
+def compose(frame: FrameLayers, blend_px: float = 4.0) -> np.ndarray:
+    """Foveated composition of one eye's layers onto the native grid.
+
+    Each layer is bilinearly upsampled to native resolution and blended by
+    :func:`layer_weights` — linear in every layer's pixels.
+    """
+    weights = layer_weights(
+        frame.native_height,
+        frame.native_width,
+        frame.gaze_x,
+        frame.gaze_y,
+        frame.r1,
+        frame.r2,
+        blend_px,
+    )
+    output: np.ndarray | None = None
+    for weight, layer in zip(weights, frame.layers):
+        upsampled = layer.upsampled(frame.native_height, frame.native_width)
+        w = weight[..., None] if upsampled.ndim == 3 else weight
+        contribution = w * upsampled
+        output = contribution if output is None else output + contribution
+    assert output is not None
+    return output

@@ -1,0 +1,105 @@
+"""Frame and layer-image containers for the functional graphics pipeline.
+
+The functional pipeline operates on small NumPy images so that the
+algebraic identities the UCA hardware exploits (Eq. (3) vs Eq. (4)) can be
+verified on real pixels.  A :class:`LayerImage` is one foveated layer: a
+pixel array plus the down-sampling scale that relates it to native panel
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LayerImage", "FrameLayers"]
+
+
+@dataclass(frozen=True)
+class LayerImage:
+    """One foveated layer: image data plus its native-space scale.
+
+    Attributes
+    ----------
+    data:
+        Float32 array of shape (H, W) or (H, W, C).
+    scale:
+        Linear down-sampling factor relative to native panel resolution
+        (1.0 = native).  A native region of ``scale * H x scale * W``
+        pixels is represented by this layer.
+    """
+
+    data: np.ndarray
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.data.ndim not in (2, 3):
+            raise ConfigurationError(
+                f"layer data must be 2-D or 3-D, got ndim={self.data.ndim}"
+            )
+        if self.scale < 1.0:
+            raise ConfigurationError(f"scale must be >= 1, got {self.scale}")
+
+    @property
+    def height(self) -> int:
+        """Stored pixel rows."""
+        return self.data.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Stored pixel columns."""
+        return self.data.shape[1]
+
+    def upsampled(self, native_height: int, native_width: int) -> np.ndarray:
+        """Resample this layer onto the native grid with bilinear filtering.
+
+        The operation is linear in the pixel values — the property that
+        makes composition and ATW commute.
+        """
+        from repro.graphics.atw import bilinear_sample
+
+        ys = (np.arange(native_height) + 0.5) * (self.height / native_height) - 0.5
+        xs = (np.arange(native_width) + 0.5) * (self.width / native_width) - 0.5
+        grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+        return bilinear_sample(self.data, grid_x, grid_y)
+
+
+@dataclass(frozen=True)
+class FrameLayers:
+    """The three foveated layers of one eye's frame.
+
+    Attributes
+    ----------
+    fovea, middle, outer:
+        The layer images (fovea at native scale).
+    native_height, native_width:
+        Panel dimensions in native pixels.
+    gaze_x, gaze_y:
+        Fovea centre in native pixel coordinates.
+    r1, r2:
+        Layer border radii (native pixels) corresponding to e1 and e2.
+    """
+
+    fovea: LayerImage
+    middle: LayerImage
+    outer: LayerImage
+    native_height: int
+    native_width: int
+    gaze_x: float
+    gaze_y: float
+    r1: float
+    r2: float
+
+    def __post_init__(self) -> None:
+        if self.native_height <= 0 or self.native_width <= 0:
+            raise ConfigurationError("native dimensions must be positive")
+        if not 0 <= self.r1 <= self.r2:
+            raise ConfigurationError(f"need 0 <= r1 <= r2, got {self.r1}, {self.r2}")
+
+    @property
+    def layers(self) -> tuple[LayerImage, LayerImage, LayerImage]:
+        """(fovea, middle, outer) in acuity order."""
+        return (self.fovea, self.middle, self.outer)

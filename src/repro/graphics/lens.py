@@ -1,0 +1,59 @@
+"""HMD lens distortion model.
+
+VR optics introduce barrel distortion that the compositor must invert
+before scan-out; ATW folds this inverse mapping into its resampling pass
+("lens distortion translation", Fig. 11).  The standard radial polynomial
+model is used: a point at normalised radius ``r`` from the lens centre is
+displaced to ``r * (1 + k1*r^2 + k2*r^4)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LensModel"]
+
+
+@dataclass(frozen=True)
+class LensModel:
+    """Radial barrel-distortion polynomial.
+
+    Attributes
+    ----------
+    k1, k2:
+        Radial distortion coefficients (typical HMD optics have small
+        positive values).
+    """
+
+    k1: float = 0.12
+    k2: float = 0.035
+
+    def distortion_factor(self, r2: np.ndarray | float) -> np.ndarray | float:
+        """Multiplicative radial displacement for squared radius ``r2``."""
+        return 1.0 + self.k1 * r2 + self.k2 * r2 * r2
+
+    def distort(
+        self, xs: np.ndarray, ys: np.ndarray, center_x: float, center_y: float, norm_radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Map undistorted panel coordinates to lens-distorted ones.
+
+        Parameters
+        ----------
+        xs, ys:
+            Pixel coordinates to map.
+        center_x, center_y:
+            Lens centre in pixels.
+        norm_radius:
+            Pixel radius that normalises to r = 1.
+        """
+        if norm_radius <= 0:
+            raise ConfigurationError(f"norm_radius must be > 0, got {norm_radius}")
+        dx = (xs - center_x) / norm_radius
+        dy = (ys - center_y) / norm_radius
+        r2 = dx * dx + dy * dy
+        factor = self.distortion_factor(r2)
+        return (center_x + dx * factor * norm_radius, center_y + dy * factor * norm_radius)

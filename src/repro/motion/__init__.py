@@ -1,0 +1,27 @@
+"""Motion substrate: 6-DoF pose algebra, trace synthesis, sensor sampling."""
+
+from repro.motion.dof import GazeDelta, GazePoint, Pose, PoseDelta
+from repro.motion.sensors import SampledSensor, SensorReading, eye_tracker, head_tracker
+from repro.motion.traces import (
+    GazeMotionConfig,
+    HeadMotionConfig,
+    MotionSample,
+    MotionTrace,
+    generate_trace,
+)
+
+__all__ = [
+    "Pose",
+    "PoseDelta",
+    "GazePoint",
+    "GazeDelta",
+    "SampledSensor",
+    "SensorReading",
+    "eye_tracker",
+    "head_tracker",
+    "HeadMotionConfig",
+    "GazeMotionConfig",
+    "MotionSample",
+    "MotionTrace",
+    "generate_trace",
+]

@@ -1,0 +1,102 @@
+"""Sensor sampling model: trackers run on their own frequencies.
+
+Sec. 2.1 / Sec. 7 of the paper: motion sensors and eye trackers execute in
+parallel with the graphics pipeline at their own refresh rates (IMU ~1 kHz,
+eye tracker 120 Hz), and sensor data takes ~2 ms to reach the rendering
+engine.  The consequence for end-to-end latency is *sampling staleness*:
+when the pipeline starts a frame at time ``t`` it sees the latest sample
+taken at or before ``t - transport``, not the instantaneous user state.
+
+:class:`SampledSensor` captures exactly that: given a per-frame ground-truth
+trace, it answers "which sample does the pipeline see at time t, and how old
+is it?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["SensorReading", "SampledSensor", "eye_tracker", "head_tracker"]
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """A sensor sample as observed by the rendering pipeline.
+
+    Attributes
+    ----------
+    sample_time_ms:
+        When the sensor physically captured the sample.
+    available_time_ms:
+        When the sample became visible to the pipeline (capture + transport).
+    age_ms:
+        Staleness at the query instant (query time - sample time).
+    """
+
+    sample_time_ms: float
+    available_time_ms: float
+    age_ms: float
+
+
+@dataclass(frozen=True)
+class SampledSensor:
+    """A periodic sensor with a fixed transport delay into the pipeline.
+
+    Parameters
+    ----------
+    rate_hz:
+        Sensor refresh rate.
+    transport_ms:
+        Fixed latency from physical capture to pipeline visibility.
+    """
+
+    rate_hz: float
+    transport_ms: float = constants.SENSOR_TRANSPORT_MS
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ConfigurationError(f"sensor rate must be > 0 Hz, got {self.rate_hz}")
+        if self.transport_ms < 0:
+            raise ConfigurationError(
+                f"transport latency must be >= 0, got {self.transport_ms}"
+            )
+
+    @property
+    def period_ms(self) -> float:
+        """Interval between consecutive sensor samples."""
+        return 1000.0 / self.rate_hz
+
+    def latest_reading(self, query_time_ms: float) -> SensorReading:
+        """Return the newest sample visible to the pipeline at a given time.
+
+        A sample captured at ``k * period`` becomes visible at
+        ``k * period + transport``; the newest visible one at ``t`` is
+        ``k = floor((t - transport) / period)`` (clamped at the first
+        sample, which is defined to exist at t=0).
+        """
+        k = math.floor((query_time_ms - self.transport_ms) / self.period_ms)
+        k = max(k, 0)
+        sample_time = k * self.period_ms
+        return SensorReading(
+            sample_time_ms=sample_time,
+            available_time_ms=sample_time + self.transport_ms,
+            age_ms=max(query_time_ms - sample_time, 0.0),
+        )
+
+    def worst_case_age_ms(self) -> float:
+        """Maximum staleness a frame can observe (one period + transport)."""
+        return self.period_ms + self.transport_ms
+
+
+def eye_tracker() -> SampledSensor:
+    """The paper's state-of-the-art 120 Hz eye tracker (HTC Vive Pro Eye)."""
+    return SampledSensor(rate_hz=constants.EYE_TRACKER_RATE_HZ)
+
+
+def head_tracker() -> SampledSensor:
+    """A 1 kHz-class head-tracking IMU."""
+    return SampledSensor(rate_hz=constants.HEAD_TRACKER_RATE_HZ)

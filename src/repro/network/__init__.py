@@ -1,0 +1,23 @@
+"""Network substrate: wireless conditions presets and channel model."""
+
+from repro.network.channel import NetworkChannel, TransferRecord, snr_efficiency
+from repro.network.conditions import (
+    ALL_CONDITIONS,
+    EARLY_5G,
+    LTE_4G,
+    NetworkConditions,
+    WIFI,
+    by_name,
+)
+
+__all__ = [
+    "NetworkChannel",
+    "TransferRecord",
+    "snr_efficiency",
+    "NetworkConditions",
+    "WIFI",
+    "LTE_4G",
+    "EARLY_5G",
+    "ALL_CONDITIONS",
+    "by_name",
+]

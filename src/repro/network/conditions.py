@@ -1,0 +1,67 @@
+"""Network condition presets (paper Table 2).
+
+The paper evaluates three download-speed classes — Wi-Fi 200 Mbps, 4G LTE
+100 Mbps and Early 5G 500 Mbps — with 20 dB SNR white noise inserted into
+the channel.  Each preset also carries a one-way propagation delay (the
+paper's netcat validation includes real channel latency) and a jitter
+amplitude for the stochastic per-frame throughput model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+__all__ = ["NetworkConditions", "WIFI", "LTE_4G", "EARLY_5G", "ALL_CONDITIONS", "by_name"]
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """A wireless link profile.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in tables.
+    throughput_mbps:
+        Nominal download throughput in megabits per second (Table 2).
+    propagation_ms:
+        One-way propagation + stack latency to the rendering server.
+    snr_db:
+        Signal-to-noise ratio of the white-noise channel model.
+    jitter_fraction:
+        Relative RMS per-frame throughput variation.
+    """
+
+    name: str
+    throughput_mbps: float
+    propagation_ms: float
+    snr_db: float = 20.0
+    jitter_fraction: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.throughput_mbps <= 0:
+            raise NetworkError(f"throughput must be > 0, got {self.throughput_mbps}")
+        if self.propagation_ms < 0:
+            raise NetworkError(f"propagation must be >= 0, got {self.propagation_ms}")
+        if not 0 <= self.jitter_fraction < 1:
+            raise NetworkError(
+                f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+
+
+WIFI = NetworkConditions(name="Wi-Fi", throughput_mbps=200.0, propagation_ms=2.0)
+LTE_4G = NetworkConditions(name="4G LTE", throughput_mbps=100.0, propagation_ms=12.0)
+EARLY_5G = NetworkConditions(name="Early 5G", throughput_mbps=500.0, propagation_ms=4.0)
+
+#: The Table 2 sweep, in the paper's presentation order.
+ALL_CONDITIONS = (WIFI, LTE_4G, EARLY_5G)
+
+
+def by_name(name: str) -> NetworkConditions:
+    """Look up a preset by its table label (case-insensitive)."""
+    for conditions in ALL_CONDITIONS:
+        if conditions.name.lower() == name.lower():
+            return conditions
+    raise NetworkError(f"unknown network conditions: {name!r}")

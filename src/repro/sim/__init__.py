@@ -1,0 +1,35 @@
+"""Pipeline simulation: DES scheduler, system designs, metrics, runner."""
+
+from repro.sim.metrics import FrameRecord, SimulationResult, paper_fps
+from repro.sim.runner import RunSpec, run, run_comparison, speedup_over
+from repro.sim.scheduler import Task, TaskGraphScheduler
+from repro.sim.systems import (
+    CollaborativeFoveatedSystem,
+    LocalOnlySystem,
+    PlatformConfig,
+    RemoteOnlySystem,
+    SYSTEM_NAMES,
+    StaticCollaborativeSystem,
+    VRSystem,
+    make_system,
+)
+
+__all__ = [
+    "FrameRecord",
+    "SimulationResult",
+    "paper_fps",
+    "RunSpec",
+    "run",
+    "run_comparison",
+    "speedup_over",
+    "Task",
+    "TaskGraphScheduler",
+    "PlatformConfig",
+    "VRSystem",
+    "LocalOnlySystem",
+    "RemoteOnlySystem",
+    "StaticCollaborativeSystem",
+    "CollaborativeFoveatedSystem",
+    "SYSTEM_NAMES",
+    "make_system",
+]

@@ -1,0 +1,240 @@
+"""Per-frame records and summary metrics for system simulations.
+
+Conventions:
+
+* **end-to-end latency** (motion-to-photon) of a frame is the time from
+  its motion sample (sensor capture) to display scan-out completion,
+  matching the paper's "from tracking to display" accounting;
+* **measured FPS** is computed from steady-state display completion
+  intervals after a warm-up prefix;
+* **paper-formula FPS** is the paper's ``FPS = min(1/T_GPU, 1/T_network)``
+  (Sec. 6.1), evaluated per frame from resource busy times and averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["FrameRecord", "SimulationResult", "paper_fps"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Timing and accounting for one simulated frame.
+
+    All times are in milliseconds on the simulation clock.
+
+    Attributes
+    ----------
+    index:
+        Frame number.
+    tracking_ms:
+        Motion sample (sensor capture) time.
+    display_ms:
+        Display scan-out completion time.
+    e1_deg, e2_deg:
+        Partition eccentricities (NaN for non-foveated systems).
+    local_ms:
+        Local GPU render time of the frame's local portion.
+    remote_path_ms:
+        Latency of the remote path (render+encode+transmit+decode) from
+        issue to layer availability; 0 for local-only.
+    transmitted_bytes:
+        Downlink payload attributable to the frame.
+    gpu_busy_ms, net_busy_ms, vd_busy_ms, uca_busy_ms, cpu_busy_ms:
+        Per-frame resource occupancy (for FPS formula and energy).
+    resolution_reduction:
+        Fraction of native pixels eliminated by foveation (0 if none).
+    dropped:
+        True when the frame needed ATW reconstruction (missed inputs).
+    mispredicted:
+        True when a static-design prefetch missed.
+    path_latency_ms:
+        The frame's *serial* critical-path latency (tracking -> display as
+        if the frame executed in isolation) — the paper's end-to-end
+        system-latency metric behind Fig. 3 and Fig. 12.  The
+        ``tracking_ms``/``display_ms`` pair instead reflects the pipelined
+        DES schedule (with cross-frame overlap), which is what FPS and
+        contention are measured from.
+    """
+
+    index: int
+    tracking_ms: float
+    display_ms: float
+    path_latency_ms: float = float("nan")
+    e1_deg: float = float("nan")
+    e2_deg: float = float("nan")
+    local_ms: float = 0.0
+    remote_path_ms: float = 0.0
+    transmitted_bytes: float = 0.0
+    gpu_busy_ms: float = 0.0
+    net_busy_ms: float = 0.0
+    vd_busy_ms: float = 0.0
+    uca_busy_ms: float = 0.0
+    cpu_busy_ms: float = 0.0
+    resolution_reduction: float = 0.0
+    dropped: bool = False
+    mispredicted: bool = False
+
+    @property
+    def pipeline_latency_ms(self) -> float:
+        """Motion-to-photon latency in the pipelined DES schedule."""
+        return self.display_ms - self.tracking_ms
+
+    @property
+    def e2e_latency_ms(self) -> float:
+        """End-to-end system latency (the paper's metric).
+
+        The serial path latency when recorded; falls back to the pipelined
+        measurement for systems that do not fill it in.
+        """
+        if not np.isnan(self.path_latency_ms):
+            return self.path_latency_ms
+        return self.pipeline_latency_ms
+
+    @property
+    def latency_ratio(self) -> float:
+        """``T_remote / T_local`` — the Fig. 14a balance metric."""
+        if self.local_ms <= 0:
+            return float("inf") if self.remote_path_ms > 0 else 1.0
+        return self.remote_path_ms / self.local_ms
+
+
+def paper_fps(gpu_busy_ms: float, net_busy_ms: float) -> float:
+    """The paper's ``FPS = min(1/T_GPU, 1/T_network)`` in frames/second."""
+    bounds = []
+    if gpu_busy_ms > 0:
+        bounds.append(1000.0 / gpu_busy_ms)
+    if net_busy_ms > 0:
+        bounds.append(1000.0 / net_busy_ms)
+    if not bounds:
+        return float("inf")
+    return min(bounds)
+
+
+@dataclass
+class SimulationResult:
+    """A completed run of one system on one workload stream."""
+
+    system: str
+    app: str
+    records: list[FrameRecord] = field(default_factory=list)
+    warmup_frames: int = 30
+
+    def __post_init__(self) -> None:
+        if self.warmup_frames < 0:
+            raise ConfigurationError("warmup_frames must be >= 0")
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _steady(self) -> list[FrameRecord]:
+        if len(self.records) <= self.warmup_frames:
+            return self.records
+        return self.records[self.warmup_frames :]
+
+    # -- latency ----------------------------------------------------------------------
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean steady-state end-to-end latency (the paper's metric)."""
+        steady = self._steady()
+        if not steady:
+            return float("nan")
+        return mean(r.e2e_latency_ms for r in steady)
+
+    @property
+    def mean_pipeline_latency_ms(self) -> float:
+        """Mean steady-state latency in the pipelined DES schedule."""
+        steady = self._steady()
+        if not steady:
+            return float("nan")
+        return mean(r.pipeline_latency_ms for r in steady)
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        """Steady-state latency percentile (e.g. 99)."""
+        steady = self._steady()
+        if not steady:
+            return float("nan")
+        return float(np.percentile([r.e2e_latency_ms for r in steady], percentile))
+
+    @property
+    def meets_mtp(self) -> bool:
+        """True when mean latency satisfies the 25 ms MTP requirement."""
+        return self.mean_latency_ms <= constants.MTP_LATENCY_REQUIREMENT_MS
+
+    # -- frame rate --------------------------------------------------------------------
+
+    @property
+    def measured_fps(self) -> float:
+        """Steady-state FPS from display completion intervals."""
+        steady = self._steady()
+        if len(steady) < 2:
+            return float("nan")
+        span_ms = steady[-1].display_ms - steady[0].display_ms
+        if span_ms <= 0:
+            return float("inf")
+        return 1000.0 * (len(steady) - 1) / span_ms
+
+    @property
+    def formula_fps(self) -> float:
+        """The paper's min(1/T_GPU, 1/T_network) averaged over frames."""
+        steady = self._steady()
+        if not steady:
+            return float("nan")
+        return mean(paper_fps(r.gpu_busy_ms, r.net_busy_ms) for r in steady)
+
+    @property
+    def meets_target_fps(self) -> bool:
+        """True when measured FPS reaches the 90 Hz requirement."""
+        return self.measured_fps >= constants.TARGET_FPS
+
+    # -- partition / transmission ----------------------------------------------------------
+
+    @property
+    def mean_e1_deg(self) -> float:
+        """Steady-state mean fovea eccentricity (NaN if non-foveated)."""
+        steady = [r.e1_deg for r in self._steady() if not np.isnan(r.e1_deg)]
+        return float(np.mean(steady)) if steady else float("nan")
+
+    @property
+    def mean_transmitted_bytes(self) -> float:
+        """Mean downlink payload per frame."""
+        steady = self._steady()
+        if not steady:
+            return float("nan")
+        return mean(r.transmitted_bytes for r in steady)
+
+    @property
+    def mean_resolution_reduction(self) -> float:
+        """Mean fraction of native resolution eliminated."""
+        steady = self._steady()
+        if not steady:
+            return float("nan")
+        return mean(r.resolution_reduction for r in steady)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of steady-state frames needing reconstruction."""
+        steady = self._steady()
+        if not steady:
+            return float("nan")
+        return mean(1.0 if r.dropped else 0.0 for r in steady)
+
+    # -- balance -----------------------------------------------------------------------------
+
+    def latency_ratios(self) -> list[float]:
+        """Per-frame ``T_remote / T_local`` series (all frames, Fig. 14a)."""
+        return [r.latency_ratio for r in self.records]
+
+    @property
+    def mean_latency_ratio(self) -> float:
+        """Steady-state mean of the balance ratio."""
+        steady = self._steady()
+        finite = [r.latency_ratio for r in steady if np.isfinite(r.latency_ratio)]
+        return float(np.mean(finite)) if finite else float("nan")

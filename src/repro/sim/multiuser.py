@@ -1,0 +1,138 @@
+"""Multi-user collaborative VR extension (the paper's future direction).
+
+The paper's framing is *planet-scale* mobile VR ("users around the world,
+regardless of their hardware and network conditions") and it compares
+against multi-user systems (Firefly, Coterie).  This module extends the
+reproduction with the natural next step: **several Q-VR clients sharing
+one rendering server and one access link**.
+
+Model: each client runs the full Q-VR control loop independently; the
+shared infrastructure scales each client's effective resources —
+
+* the server's rendering throughput divides across concurrently active
+  clients (the MCM GPUs are time-shared);
+* the shared downlink divides its throughput across clients;
+
+so every client's LIWC observes a *degraded environment* (slower ACK
+throughput, longer remote latencies) and re-balances by growing its local
+fovea.  The testable prediction — more co-located users, larger average
+eccentricity and lower per-user FPS, until the local GPUs saturate — is
+the behaviour a planet-scale deployment would exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.conditions import NetworkConditions
+from repro.sim.metrics import SimulationResult
+from repro.sim.systems import PlatformConfig, make_system
+from repro.workloads.apps import VRApp, get_app
+
+__all__ = ["MultiUserScenario", "MultiUserResult", "simulate_shared_infrastructure"]
+
+
+@dataclass(frozen=True)
+class MultiUserScenario:
+    """A shared-infrastructure deployment.
+
+    Attributes
+    ----------
+    apps:
+        One title per client (clients may run different games).
+    platform:
+        The single-user platform being shared.
+    sharing_efficiency:
+        Fraction of ideal 1/N scaling the infrastructure achieves
+        (statistical multiplexing recovers some capacity because clients'
+        transfers interleave; 1.0 = perfect interleaving, i.e. each of N
+        clients sees capacity/N x 1/efficiency... values < 1 model
+        scheduling losses).
+    """
+
+    apps: tuple[str, ...]
+    platform: PlatformConfig
+    sharing_efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ConfigurationError("scenario needs at least one client")
+        if not 0 < self.sharing_efficiency <= 1:
+            raise ConfigurationError("sharing_efficiency must be in (0, 1]")
+
+    @property
+    def n_clients(self) -> int:
+        """Number of co-located clients."""
+        return len(self.apps)
+
+
+@dataclass(frozen=True)
+class MultiUserResult:
+    """Per-client results plus aggregate statistics."""
+
+    per_client: tuple[SimulationResult, ...]
+
+    @property
+    def mean_fps(self) -> float:
+        """Average per-client frame rate."""
+        return float(np.mean([r.measured_fps for r in self.per_client]))
+
+    @property
+    def mean_e1_deg(self) -> float:
+        """Average steady-state eccentricity across clients."""
+        return float(np.mean([r.mean_e1_deg for r in self.per_client]))
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Average end-to-end latency across clients."""
+        return float(np.mean([r.mean_latency_ms for r in self.per_client]))
+
+    @property
+    def clients_meeting_fps(self) -> int:
+        """How many clients hold the 90 Hz requirement."""
+        return sum(1 for r in self.per_client if r.meets_target_fps)
+
+
+def _shared_platform(scenario: MultiUserScenario) -> PlatformConfig:
+    """Derive each client's effective platform under sharing."""
+    n = scenario.n_clients
+    if n == 1:
+        return scenario.platform
+    share = 1.0 / (n * scenario.sharing_efficiency)
+    base = scenario.platform
+    shared_network = NetworkConditions(
+        name=base.network.name,
+        throughput_mbps=base.network.throughput_mbps * share,
+        propagation_ms=base.network.propagation_ms,
+        snr_db=base.network.snr_db,
+        jitter_fraction=min(base.network.jitter_fraction * (1 + 0.1 * (n - 1)), 0.5),
+    )
+    shared_server = replace(
+        base.server,
+        per_gpu_speedup=base.server.per_gpu_speedup * share,
+    )
+    return replace(base, network=shared_network, server=shared_server)
+
+
+def simulate_shared_infrastructure(
+    scenario: MultiUserScenario,
+    n_frames: int = 200,
+    seed: int = 0,
+    system: str = "qvr",
+) -> MultiUserResult:
+    """Simulate every client of a shared-infrastructure scenario.
+
+    Each client runs the full per-frame control loop against its share of
+    the server and link; clients receive distinct seeds so their motion
+    and scene dynamics are independent.
+    """
+    platform = _shared_platform(scenario)
+    results = []
+    for client_index, app_name in enumerate(scenario.apps):
+        app: VRApp = get_app(app_name)
+        client = make_system(system, app, platform, seed=seed + 97 * client_index)
+        results.append(client.run(n_frames=n_frames))
+    return MultiUserResult(per_client=tuple(results))

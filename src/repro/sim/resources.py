@@ -1,0 +1,71 @@
+"""Canonical pipeline resource names and capacities.
+
+Every system pipeline maps its tasks onto this resource set (the hardware
+blocks of Fig. 1/Fig. 4).  Names are module-level constants so typos fail
+loudly at submit time.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+
+__all__ = [
+    "CPU",
+    "GPU",
+    "NET",
+    "VIDEO_DECODER",
+    "UCA",
+    "LIWC",
+    "REMOTE_GPU",
+    "ENCODER",
+    "DISPLAY",
+    "default_capacities",
+]
+
+#: Mobile SoC CPU running the VR application logic (CL) and setup (LS).
+CPU = "cpu"
+
+#: Local mobile GPU (LR, and C/ATW in non-UCA designs).
+GPU = "gpu"
+
+#: Downlink radio (one transfer at a time; serialisation limits FPS).
+NET = "net"
+
+#: Mobile hardware video decoder (VD).
+VIDEO_DECODER = "vd"
+
+#: The Unified Composition and ATW unit (Q-VR only).
+UCA = "uca"
+
+#: The workload controller (Q-VR only; nanosecond-latency lookups).
+LIWC = "liwc"
+
+#: Remote rendering server (RR).
+REMOTE_GPU = "remote_gpu"
+
+#: Remote hardware video encoder.
+ENCODER = "encoder"
+
+#: HMD scan-out.
+DISPLAY = "display"
+
+
+def default_capacities() -> dict[str, int]:
+    """Resource capacities for the Table 2 platform.
+
+    The UCA *resource* has capacity 1 because the two hardware units
+    cooperate on a single frame (the per-frame occupancy already divides
+    by the unit count); the remote server's parallelism is likewise folded
+    into its render-time model.
+    """
+    return {
+        CPU: 1,
+        GPU: 1,
+        NET: 1,
+        VIDEO_DECODER: 1,
+        UCA: 1,
+        LIWC: 1,
+        REMOTE_GPU: 1,
+        ENCODER: 1,
+        DISPLAY: 1,
+    }

@@ -1,0 +1,75 @@
+"""High-level experiment runner: one call from (system, app, platform) to results.
+
+Wraps system construction and execution, and provides the comparative runs
+(all systems on one app, one system across a condition sweep) that the
+benchmark harness and examples are written against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import SimulationResult
+from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system
+from repro.workloads.apps import VRApp, get_app
+
+__all__ = ["RunSpec", "run", "run_comparison", "speedup_over"]
+
+#: Default frame count for evaluation runs (matches Fig. 14's 300 frames).
+DEFAULT_FRAMES = 300
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A fully specified simulation run."""
+
+    system: str
+    app: str
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    n_frames: int = DEFAULT_FRAMES
+    seed: int = 0
+    warmup_frames: int = 30
+
+    def __post_init__(self) -> None:
+        if self.system.lower() not in SYSTEM_NAMES:
+            raise ConfigurationError(
+                f"unknown system {self.system!r}; known: {SYSTEM_NAMES}"
+            )
+        if self.n_frames < 1:
+            raise ConfigurationError("n_frames must be >= 1")
+
+
+def run(spec: RunSpec) -> SimulationResult:
+    """Execute one run specification."""
+    app = get_app(spec.app)
+    system = make_system(spec.system, app, spec.platform, seed=spec.seed)
+    return system.run(n_frames=spec.n_frames, warmup_frames=spec.warmup_frames)
+
+
+def run_comparison(
+    app: str | VRApp,
+    systems: tuple[str, ...] = SYSTEM_NAMES,
+    platform: PlatformConfig | None = None,
+    n_frames: int = DEFAULT_FRAMES,
+    seed: int = 0,
+) -> dict[str, SimulationResult]:
+    """Run several system designs on the same app and platform."""
+    app_obj = get_app(app) if isinstance(app, str) else app
+    platform = platform if platform is not None else PlatformConfig()
+    results: dict[str, SimulationResult] = {}
+    for name in systems:
+        system = make_system(name, app_obj, platform, seed=seed)
+        results[name] = system.run(n_frames=n_frames)
+    return results
+
+
+def speedup_over(
+    results: dict[str, SimulationResult], system: str, baseline: str = "local"
+) -> float:
+    """End-to-end latency speedup of ``system`` over ``baseline``."""
+    if system not in results or baseline not in results:
+        raise ConfigurationError(
+            f"need both {system!r} and {baseline!r} in results; have {sorted(results)}"
+        )
+    return results[baseline].mean_latency_ms / results[system].mean_latency_ms

@@ -1,0 +1,256 @@
+"""Deterministic task-graph / resource scheduler (the pipeline DES core).
+
+The execution pipelines of Fig. 4 are directed acyclic graphs of tasks
+(CL, LS, LR, RR, network, VD, C, ATW, ...) mapped onto serially shared
+hardware resources (CPU, GPU, network link, video decoder, LIWC, UCA).
+This module provides the discrete-event machinery the per-system pipeline
+builders are written against:
+
+* a :class:`Task` is a named unit of work with a duration, an optional
+  resource, dependencies and an optional earliest-start time;
+* a :class:`ResourceTimeline` tracks when each unit of a (possibly
+  multi-unit) resource becomes free;
+* :class:`TaskGraphScheduler` assigns start/finish times by simulating a
+  FIFO-by-ready-time dispatch: among all tasks whose dependencies have
+  completed, the earliest-ready one is dispatched first (submission order
+  breaks ties), and it begins at
+  ``max(ready time, earliest unit free time)``.
+
+The dispatch order is provably monotone in ready time (a newly enabled
+task can never become ready earlier than the task being dispatched), so a
+single pass over a ready-heap yields the exact FIFO schedule, fully
+deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+__all__ = ["Task", "ResourceTimeline", "TaskGraphScheduler"]
+
+
+@dataclass(eq=False)
+class Task:
+    """One schedulable unit of pipeline work.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic label (e.g. ``"frame12:LR"``).
+    duration_ms:
+        Service time on the resource.
+    resource:
+        Resource name, or None for a pure delay (no contention).
+    deps:
+        Tasks that must finish before this one may start.
+    earliest_start_ms:
+        Additional absolute lower bound on the start time.
+    """
+
+    name: str
+    duration_ms: float
+    resource: str | None = None
+    deps: tuple["Task", ...] = ()
+    earliest_start_ms: float = 0.0
+    start_ms: float | None = field(default=None, init=False)
+    finish_ms: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.duration_ms < 0:
+            raise SchedulingError(f"task {self.name}: negative duration")
+        if self.earliest_start_ms < 0:
+            raise SchedulingError(f"task {self.name}: negative earliest start")
+
+    @property
+    def scheduled(self) -> bool:
+        """True once the scheduler has assigned start/finish times."""
+        return self.finish_ms is not None
+
+    def finish(self) -> float:
+        """Finish time; raises if the task has not been scheduled."""
+        if self.finish_ms is None:
+            raise SchedulingError(f"task {self.name} is not scheduled yet")
+        return self.finish_ms
+
+
+class ResourceTimeline:
+    """Free-time bookkeeping for one resource with ``capacity`` units."""
+
+    def __init__(self, name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SchedulingError(f"resource {name}: capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._free_at: list[float] = [0.0] * capacity
+        heapq.heapify(self._free_at)
+        self.busy_ms: float = 0.0
+
+    def assign(self, ready_ms: float, duration_ms: float) -> tuple[float, float]:
+        """Dispatch a task that became ready at ``ready_ms``.
+
+        Returns (start, finish) on the earliest-free unit and marks the
+        unit busy until the finish time.
+        """
+        unit_free = heapq.heappop(self._free_at)
+        start = max(ready_ms, unit_free)
+        finish = start + duration_ms
+        heapq.heappush(self._free_at, finish)
+        self.busy_ms += duration_ms
+        return start, finish
+
+    @property
+    def horizon_ms(self) -> float:
+        """Latest scheduled finish over all units."""
+        return max(self._free_at)
+
+
+class TaskGraphScheduler:
+    """FIFO-by-ready-time scheduler over a set of named resources.
+
+    Parameters
+    ----------
+    capacities:
+        Mapping of resource name to unit count; unknown resources named by
+        tasks raise :class:`~repro.errors.SchedulingError` at submit time.
+    """
+
+    def __init__(self, capacities: dict[str, int]) -> None:
+        self.resources: dict[str, ResourceTimeline] = {
+            name: ResourceTimeline(name, capacity)
+            for name, capacity in capacities.items()
+        }
+        self._counter = itertools.count()
+        self._pending: list[Task] = []
+        self._scheduled: list[Task] = []
+
+    # -- graph construction ------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        duration_ms: float,
+        resource: str | None = None,
+        deps: tuple[Task, ...] | list[Task] = (),
+        earliest_start_ms: float = 0.0,
+    ) -> Task:
+        """Create and register a task; returns it for use as a dependency."""
+        if resource is not None and resource not in self.resources:
+            raise SchedulingError(f"unknown resource {resource!r} for task {name!r}")
+        task = Task(
+            name=name,
+            duration_ms=duration_ms,
+            resource=resource,
+            deps=tuple(deps),
+            earliest_start_ms=earliest_start_ms,
+        )
+        self._pending.append(task)
+        return task
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> None:
+        """Assign start/finish times to every pending task.
+
+        May be called repeatedly; each call schedules the tasks submitted
+        since the previous call (resource timelines persist, which is how
+        cross-frame pipelining arises).
+        """
+        pending = self._pending
+        self._pending = []
+        remaining_deps: dict[int, int] = {}
+        dependents: dict[int, list[Task]] = {}
+        ready_heap: list[tuple[float, int, Task]] = []
+
+        for task in pending:
+            if task.scheduled:
+                raise SchedulingError(f"task {task.name} already scheduled")
+            unscheduled = [dep for dep in task.deps if not dep.scheduled]
+            remaining_deps[id(task)] = len(unscheduled)
+            for dep in unscheduled:
+                dependents.setdefault(id(dep), []).append(task)
+            if remaining_deps[id(task)] == 0:
+                heapq.heappush(
+                    ready_heap, (self._ready_time(task), next(self._counter), task)
+                )
+
+        scheduled_count = 0
+        while ready_heap:
+            ready_ms, _, task = heapq.heappop(ready_heap)
+            self._dispatch(task, ready_ms)
+            scheduled_count += 1
+            for dependent in dependents.get(id(task), ()):  # newly enabled?
+                remaining_deps[id(dependent)] -= 1
+                if remaining_deps[id(dependent)] == 0:
+                    heapq.heappush(
+                        ready_heap,
+                        (self._ready_time(dependent), next(self._counter), dependent),
+                    )
+        if scheduled_count != len(pending):
+            unmet = [t.name for t in pending if not t.scheduled]
+            raise SchedulingError(
+                f"cyclic or dangling dependencies; unscheduled tasks: {unmet[:10]}"
+            )
+        self._scheduled.extend(pending)
+
+    def _ready_time(self, task: Task) -> float:
+        dep_finish = max((dep.finish() for dep in task.deps), default=0.0)
+        return max(dep_finish, task.earliest_start_ms)
+
+    def _dispatch(self, task: Task, ready_ms: float) -> None:
+        if task.resource is None:
+            task.start_ms = ready_ms
+            task.finish_ms = ready_ms + task.duration_ms
+            return
+        timeline = self.resources[task.resource]
+        task.start_ms, task.finish_ms = timeline.assign(ready_ms, task.duration_ms)
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """All scheduled tasks, in submission order."""
+        return tuple(self._scheduled)
+
+    def busy_ms(self, resource: str) -> float:
+        """Total busy time accumulated on a resource."""
+        if resource not in self.resources:
+            raise SchedulingError(f"unknown resource {resource!r}")
+        return self.resources[resource].busy_ms
+
+    def validate(self) -> None:
+        """Check schedule invariants (dependencies and causality).
+
+        Intended for tests: every task must start no earlier than each of
+        its dependencies' finish times and its own earliest-start bound.
+        """
+        by_resource: dict[str, list[Task]] = {}
+        for task in self._scheduled:
+            assert task.start_ms is not None and task.finish_ms is not None
+            if task.start_ms + 1e-9 < task.earliest_start_ms:
+                raise SchedulingError(f"{task.name} starts before earliest-start")
+            for dep in task.deps:
+                if task.start_ms + 1e-9 < dep.finish():
+                    raise SchedulingError(
+                        f"{task.name} starts before dependency {dep.name} finishes"
+                    )
+            if task.resource is not None:
+                by_resource.setdefault(task.resource, []).append(task)
+        for name, tasks in by_resource.items():
+            capacity = self.resources[name].capacity
+            events: list[tuple[float, int]] = []
+            for task in tasks:
+                if task.duration_ms <= 0:
+                    continue
+                events.append((task.start_ms + 1e-9, 1))
+                events.append((task.finish_ms - 1e-9, -1))
+            load = 0
+            for _, delta in sorted(events):
+                load += delta
+                if load > capacity:
+                    raise SchedulingError(
+                        f"resource {name} oversubscribed beyond capacity {capacity}"
+                    )

@@ -1,0 +1,713 @@
+"""The seven VR system designs the paper evaluates (Fig. 4 pipelines).
+
+Every system consumes the same deterministic workload stream and platform
+configuration and produces a :class:`~repro.sim.metrics.SimulationResult`.
+The execution pipelines are built frame by frame on the task-graph DES
+(:mod:`repro.sim.scheduler`), with persistent resource timelines providing
+cross-frame pipelining and contention — the effects Sec. 2.3 analyses.
+
+Systems
+-------
+* :class:`LocalOnlySystem` — traditional commercial mobile VR.
+* :class:`RemoteOnlySystem` — cloud streaming of full frames.
+* :class:`StaticCollaborativeSystem` — foreground objects local,
+  background remote with one-frame prefetch and misprediction refetch
+  (Furion/FlashBack-style).
+* :class:`CollaborativeFoveatedSystem` — the Q-VR software framework with
+  pluggable eccentricity controller and optional UCA; concrete designs:
+
+  - FFR: fixed ``e1 = 5`` degrees, composition/ATW on the GPU;
+  - DFR: LIWC-adaptive ``e1``, composition/ATW still on the GPU;
+  - SW-QVR: software-adaptive ``e1`` (previous-frame latencies, pipeline
+    serialisation), UCA enabled;
+  - Q-VR: LIWC + UCA (the full co-design).
+
+Streaming model: the remote path (RR -> encode -> transmit -> decode) is
+chunk-pipelined (Sec. 3.2 "parallel streaming"); in the DES the network
+transfer starts one chunk of render+encode after the request reaches the
+server, and the decoder finishes one chunk after the transfer — the
+steady-state latency of the classic pipeline formula, while the radio's
+occupancy (which throttles FPS) remains the full serialisation time.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro import constants
+from repro.codec.h264 import H264Model
+from repro.codec.stream import DEFAULT_CHUNKS, pipelined_latency_ms
+from repro.core.controllers import (
+    ControlContext,
+    ControlFeedback,
+    EccentricityController,
+    FixedEccentricityController,
+    LIWCController,
+    SoftwareAdaptiveController,
+)
+from repro.core.foveation import DisplayGeometry, FoveationModel
+from repro.core.partition import PartitionEngine
+from repro.core.uca import UCAConfig, UCAUnit
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig, RemoteServerConfig
+from repro.gpu.mobile_gpu import MobileGPU
+from repro.gpu.remote_gpu import RemoteRenderer
+from repro.motion.dof import GazeDelta, PoseDelta
+from repro.network.channel import NetworkChannel
+from repro.network.conditions import NetworkConditions, WIFI
+from repro.sim import resources as R
+from repro.sim.metrics import FrameRecord, SimulationResult
+from repro.sim.scheduler import Task, TaskGraphScheduler
+from repro.workloads.apps import VRApp
+from repro.workloads.generator import FrameWorkload, WorkloadGenerator
+
+__all__ = [
+    "PlatformConfig",
+    "VRSystem",
+    "LocalOnlySystem",
+    "RemoteOnlySystem",
+    "StaticCollaborativeSystem",
+    "CollaborativeFoveatedSystem",
+    "make_system",
+    "SYSTEM_NAMES",
+]
+
+#: CPU time for the per-frame VR application logic (CL).
+CL_MS = 1.5
+
+#: CPU time for render setup and remote issue (LS).
+LS_MS = 0.5
+
+#: LIWC decision latency (nanosecond-class table lookup, Sec. 4.3).
+LIWC_SELECT_MS = 0.001
+
+#: Frames kept in flight by the pacing window (double buffering).
+_PACING_WINDOW = 2
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything that defines the hardware/network environment of a run."""
+
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    server: RemoteServerConfig = field(default_factory=RemoteServerConfig)
+    network: NetworkConditions = WIFI
+    codec: H264Model = field(default_factory=H264Model)
+    uca: UCAConfig = field(default_factory=UCAConfig)
+    stream_chunks: int = DEFAULT_CHUNKS
+
+    def __post_init__(self) -> None:
+        if self.stream_chunks < 1:
+            raise ConfigurationError("stream_chunks must be >= 1")
+
+    def with_gpu_frequency(self, frequency_mhz: float) -> "PlatformConfig":
+        """Copy of this platform at another local GPU/UCA clock."""
+        return replace(
+            self,
+            gpu=self.gpu.at_frequency(frequency_mhz),
+            uca=replace(self.uca, frequency_mhz=frequency_mhz),
+        )
+
+
+class VRSystem(ABC):
+    """Base class: one rendering system design on one platform."""
+
+    name: str = "abstract"
+
+    def __init__(self, app: VRApp, platform: PlatformConfig | None = None, seed: int = 0) -> None:
+        self.app = app
+        self.platform = platform if platform is not None else PlatformConfig()
+        self.seed = seed
+        self.mobile = MobileGPU(self.platform.gpu)
+        self.remote = RemoteRenderer(self.platform.server, self.platform.gpu)
+        self.channel = NetworkChannel(self.platform.network, seed=seed + 7)
+        self.codec = self.platform.codec
+        self.display = DisplayGeometry(app.width_px, app.height_px)
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, n_frames: int = 300, warmup_frames: int = 30) -> SimulationResult:
+        """Simulate ``n_frames`` frames and return the result."""
+        workloads = WorkloadGenerator(self.app, seed=self.seed).generate(n_frames)
+        scheduler = TaskGraphScheduler(R.default_capacities())
+        records = self._simulate(scheduler, workloads)
+        scheduler.validate()
+        return SimulationResult(
+            system=self.name,
+            app=self.app.name,
+            records=records,
+            warmup_frames=min(warmup_frames, max(n_frames - 2, 0)),
+        )
+
+    @abstractmethod
+    def _simulate(
+        self, scheduler: TaskGraphScheduler, workloads: list[FrameWorkload]
+    ) -> list[FrameRecord]:
+        """Build and execute the per-frame pipelines."""
+
+    # -- shared helpers ----------------------------------------------------------------
+
+    def _frontend(
+        self,
+        scheduler: TaskGraphScheduler,
+        index: int,
+        pacing_deps: list[Task],
+    ) -> tuple[Task, Task]:
+        """Submit the CPU front end (CL then LS) for one frame."""
+        cl = scheduler.submit(f"f{index}:CL", CL_MS, R.CPU, deps=tuple(pacing_deps))
+        ls = scheduler.submit(f"f{index}:LS", LS_MS, R.CPU, deps=(cl,))
+        return cl, ls
+
+    def _remote_chain(
+        self,
+        scheduler: TaskGraphScheduler,
+        index: int,
+        issue: Task,
+        render_ms: float,
+        encode_ms: float,
+        transmit_ms: float,
+        decode_ms: float,
+        label: str = "",
+    ) -> tuple[Task, Task]:
+        """Submit the chunk-pipelined remote path; returns (net, vd) tasks.
+
+        The request travels one propagation delay; the radio transfer
+        starts after the first chunk has rendered+encoded; the decode
+        task models the tail chunk (full decode occupancy is reported in
+        the frame record, not on the critical path).
+        """
+        chunks = self.platform.stream_chunks
+        up = scheduler.submit(
+            f"f{index}:up{label}", self.channel.one_way_ms, None, deps=(issue,)
+        )
+        rr = scheduler.submit(f"f{index}:RR{label}", render_ms, R.REMOTE_GPU, deps=(up,))
+        enc = scheduler.submit(f"f{index}:ENC{label}", encode_ms, R.ENCODER, deps=(rr,))
+        scheduler.run()
+        lead_ms = (render_ms + encode_ms) / chunks
+        net = scheduler.submit(
+            f"f{index}:NET{label}",
+            transmit_ms,
+            R.NET,
+            deps=(up,),
+            earliest_start_ms=up.finish() + lead_ms,
+        )
+        vd = scheduler.submit(
+            f"f{index}:VD{label}", decode_ms / chunks, R.VIDEO_DECODER, deps=(net,)
+        )
+        return net, vd
+
+    def _serial_remote_ms(
+        self, render_ms: float, encode_ms: float, transmit_ms: float, decode_ms: float
+    ) -> float:
+        """Isolated (serial-path) latency of one remote fetch.
+
+        One-way propagation plus the chunk-pipelined completion time of
+        the render/encode/transmit/decode stages — the quantity the
+        paper's latency breakdowns stack.
+        """
+        return self.channel.one_way_ms + pipelined_latency_ms(
+            [render_ms, encode_ms, transmit_ms, decode_ms],
+            self.platform.stream_chunks,
+        )
+
+    def _path_latency_ms(self, *segments_ms: float) -> float:
+        """Serial end-to-end path: sensor + CPU front end + segments + display."""
+        return (
+            constants.SENSOR_TRANSPORT_MS
+            + CL_MS
+            + LS_MS
+            + sum(segments_ms)
+            + constants.DISPLAY_SCANOUT_MS
+        )
+
+    def _tracking_time(self, *latch_times_ms: float) -> float:
+        """Motion sample time backing a frame's displayed content.
+
+        Modern VR runtimes *late-latch* the render pose: the pose that
+        shapes a frame's content is sampled when the work actually begins,
+        not when the frame's logic was queued.  The frame's motion-to-
+        photon latency therefore runs from the oldest pose latch among the
+        points that consume tracking data (local render start, remote
+        issue completion), minus the 2 ms sensor transport the paper
+        counts (Sec. 5).
+        """
+        return min(latch_times_ms) - constants.SENSOR_TRANSPORT_MS
+
+
+class LocalOnlySystem(VRSystem):
+    """Traditional local rendering in commercial mobile VR devices."""
+
+    name = "local"
+
+    def _simulate(self, scheduler, workloads):
+        records: list[FrameRecord] = []
+        pace: list[Task] = []
+        merges: list[Task] = []
+        for wl in workloads:
+            cl, ls = self._frontend(scheduler, wl.index, pace)
+            render_ms = self.mobile.render_time_ms(wl.full)
+            lr = scheduler.submit(f"f{wl.index}:LR", render_ms, R.GPU, deps=(ls,))
+            atw_cost = self.mobile.atw_cost(self.app.pixels_per_frame)
+            atw = scheduler.submit(f"f{wl.index}:ATW", atw_cost.total_ms, R.GPU, deps=(lr,))
+            disp = scheduler.submit(
+                f"f{wl.index}:DISP", constants.DISPLAY_SCANOUT_MS, None, deps=(atw,)
+            )
+            scheduler.run()
+            merges.append(atw)
+            pace = [ls]
+            if len(merges) >= _PACING_WINDOW:
+                pace.append(merges[-_PACING_WINDOW])
+            assert lr.start_ms is not None
+            records.append(
+                FrameRecord(
+                    index=wl.index,
+                    tracking_ms=self._tracking_time(lr.start_ms),
+                    display_ms=disp.finish(),
+                    path_latency_ms=self._path_latency_ms(
+                        render_ms, atw_cost.total_ms
+                    ),
+                    local_ms=render_ms,
+                    gpu_busy_ms=render_ms + atw_cost.total_ms,
+                    cpu_busy_ms=CL_MS + LS_MS,
+                )
+            )
+        return records
+
+
+class RemoteOnlySystem(VRSystem):
+    """Cloud streaming: the server renders and streams full frames."""
+
+    name = "remote"
+
+    def _simulate(self, scheduler, workloads):
+        records: list[FrameRecord] = []
+        pace: list[Task] = []
+        merges: list[Task] = []
+        for wl in workloads:
+            cl, ls = self._frontend(scheduler, wl.index, pace)
+            pixels = self.app.pixels_per_frame
+            render_ms = self.remote.render_time_ms(wl.full)
+            encode_ms = self.remote.encode_time_ms(pixels)
+            payload = self.codec.encode(pixels, wl.content_complexity).payload_bytes
+            transmit_ms = self.channel.transfer_time_ms(payload)
+            decode_ms = self.codec.decode_time_ms(pixels)
+            net, vd = self._remote_chain(
+                scheduler, wl.index, ls, render_ms, encode_ms, transmit_ms, decode_ms
+            )
+            atw_cost = self.mobile.atw_cost(pixels)
+            atw = scheduler.submit(f"f{wl.index}:ATW", atw_cost.total_ms, R.GPU, deps=(vd,))
+            disp = scheduler.submit(
+                f"f{wl.index}:DISP", constants.DISPLAY_SCANOUT_MS, None, deps=(atw,)
+            )
+            scheduler.run()
+            merges.append(atw)
+            pace = [ls]
+            if len(merges) >= _PACING_WINDOW:
+                pace.append(merges[-_PACING_WINDOW])
+            remote_path = vd.finish() - ls.finish()
+            serial_remote = self._serial_remote_ms(
+                render_ms, encode_ms, transmit_ms, decode_ms
+            )
+            records.append(
+                FrameRecord(
+                    index=wl.index,
+                    tracking_ms=self._tracking_time(ls.finish()),
+                    display_ms=disp.finish(),
+                    path_latency_ms=self._path_latency_ms(
+                        serial_remote, atw_cost.total_ms
+                    ),
+                    remote_path_ms=remote_path,
+                    transmitted_bytes=payload,
+                    gpu_busy_ms=atw_cost.total_ms,
+                    net_busy_ms=transmit_ms,
+                    vd_busy_ms=decode_ms,
+                    cpu_busy_ms=CL_MS + LS_MS,
+                    dropped=remote_path > constants.MTP_LATENCY_REQUIREMENT_MS,
+                )
+            )
+        return records
+
+
+class StaticCollaborativeSystem(VRSystem):
+    """Static collaborative rendering with background prefetch (Sec. 2.2-II).
+
+    The pre-defined interactive (foreground) objects render locally at
+    native resolution; the full background frame plus its depth map is
+    prefetched from the server one frame ahead using predicted motion.
+    A misprediction (probability rising with head-motion activity, since
+    the pose must be extrapolated ~3 frames out) forces a synchronous
+    refetch.  Composition is the expensive depth-embedding variant and
+    runs on the GPU, as does ATW.
+    """
+
+    name = "static"
+
+    #: Base misprediction probability of the one-frame-ahead pose predictor.
+    base_miss_rate = 0.05
+
+    #: Additional miss probability at full head-motion activity.
+    activity_miss_gain = 0.55
+
+    def _simulate(self, scheduler, workloads):
+        records: list[FrameRecord] = []
+        rng = np.random.default_rng(self.seed + 31)
+        pace: list[Task] = []
+        merges: list[Task] = []
+        prefetched: Task | None = None  # background-ready event for this frame
+        prefetched_payload = 0.0
+        prefetched_serial = 0.0
+        for wl in workloads:
+            cl, ls = self._frontend(scheduler, wl.index, pace)
+            scheduler.run()
+
+            # Local foreground rendering.
+            f = wl.interactive_fraction
+            local_wl = wl.full.scaled(fragment_scale=f, vertex_scale=f, batch_scale=f)
+            local_ms = self.mobile.render_time_ms(local_wl)
+            lr = scheduler.submit(f"f{wl.index}:LR", local_ms, R.GPU, deps=(ls,))
+
+            # Background for *this* frame: the prefetch issued last frame,
+            # unless the pose prediction missed.
+            miss_p = min(
+                self.base_miss_rate + self.activity_miss_gain * wl.motion.activity, 0.6
+            )
+            mispredicted = bool(rng.random() < miss_p)
+            if prefetched is None or mispredicted:
+                bg_ready, issued_payload, serial_fetch = self._fetch_background(
+                    scheduler, wl, ls, refetch=mispredicted
+                )
+            else:
+                bg_ready = prefetched
+                issued_payload = prefetched_payload
+                serial_fetch = prefetched_serial
+
+            # Composition (depth embedding) and ATW compete for the GPU.
+            comp = self.mobile.static_composition_cost(self.app.pixels_per_frame)
+            c = scheduler.submit(
+                f"f{wl.index}:C", comp.total_ms, R.GPU, deps=(lr, bg_ready)
+            )
+            atw_cost = self.mobile.atw_cost(self.app.pixels_per_frame)
+            atw = scheduler.submit(f"f{wl.index}:ATW", atw_cost.total_ms, R.GPU, deps=(c,))
+            disp = scheduler.submit(
+                f"f{wl.index}:DISP", constants.DISPLAY_SCANOUT_MS, None, deps=(atw,)
+            )
+
+            # Prefetch the *next* frame's background now (predicted pose).
+            # After a misprediction the synchronous refetch is fresh enough
+            # to serve as the next frame's background, so no extra prefetch
+            # is issued (otherwise the radio would carry two background
+            # streams per frame).
+            if mispredicted:
+                prefetched, prefetched_payload, prefetched_serial = (
+                    bg_ready, issued_payload, serial_fetch,
+                )
+            else:
+                prefetched, prefetched_payload, prefetched_serial = (
+                    self._fetch_background(scheduler, wl, ls, refetch=False, label="pre")
+                )
+            scheduler.run()
+            merges.append(atw)
+            pace = [ls]
+            if len(merges) >= _PACING_WINDOW:
+                pace.append(merges[-_PACING_WINDOW])
+
+            remote_path = bg_ready.finish() - ls.finish()
+            assert lr.start_ms is not None
+            records.append(
+                FrameRecord(
+                    index=wl.index,
+                    tracking_ms=self._tracking_time(lr.start_ms, ls.finish()),
+                    display_ms=disp.finish(),
+                    path_latency_ms=self._path_latency_ms(
+                        max(local_ms, serial_fetch),
+                        comp.total_ms,
+                        atw_cost.total_ms,
+                    ),
+                    local_ms=local_ms,
+                    remote_path_ms=max(remote_path, 0.0),
+                    transmitted_bytes=issued_payload,
+                    gpu_busy_ms=local_ms + comp.total_ms + atw_cost.total_ms,
+                    net_busy_ms=issued_payload / self.channel.mean_effective_bytes_per_ms,
+                    vd_busy_ms=self.codec.decode_time_ms(self.app.pixels_per_frame),
+                    cpu_busy_ms=CL_MS + LS_MS,
+                    mispredicted=mispredicted,
+                    dropped=mispredicted,
+                )
+            )
+        return records
+
+    def _fetch_background(
+        self,
+        scheduler: TaskGraphScheduler,
+        wl: FrameWorkload,
+        issue: Task,
+        refetch: bool,
+        label: str = "",
+    ) -> tuple[Task, float, float]:
+        """Submit one background fetch.
+
+        Returns (ready event, payload bytes, serial path latency).
+        """
+        pixels = self.app.pixels_per_frame
+        bg_fraction = 1.0 - wl.interactive_fraction
+        bg_wl = wl.full.scaled(
+            fragment_scale=bg_fraction, vertex_scale=bg_fraction, batch_scale=bg_fraction
+        )
+        render_ms = self.remote.render_time_ms(bg_wl)
+        encode_ms = self.remote.encode_time_ms(pixels)
+        colour = self.codec.encode(pixels, wl.content_complexity).payload_bytes
+        # The depth map needed for composition travels at half
+        # resolution (depth compresses well and composition tolerates
+        # coarser depth than colour).
+        depth = self.codec.encode_depth(pixels / 2.0).payload_bytes
+        payload = colour + depth
+        transmit_ms = self.channel.transfer_time_ms(payload)
+        decode_ms = self.codec.decode_time_ms(pixels)
+        suffix = f"{label}{'R' if refetch else ''}"
+        _, vd = self._remote_chain(
+            scheduler, wl.index, issue, render_ms, encode_ms, transmit_ms, decode_ms,
+            label=suffix,
+        )
+        serial_ms = self._serial_remote_ms(render_ms, encode_ms, transmit_ms, decode_ms)
+        return vd, payload, serial_ms
+
+
+class CollaborativeFoveatedSystem(VRSystem):
+    """The Q-VR software framework with a pluggable controller and UCA flag.
+
+    Concrete configurations (factory :func:`make_system`):
+
+    ========  ==========================  ========
+    design    controller                  UCA
+    ========  ==========================  ========
+    FFR       FixedEccentricity(5 deg)    no (GPU)
+    DFR       LIWCController              no (GPU)
+    SW-QVR    SoftwareAdaptiveController  no (GPU)
+    Q-VR      LIWCController              yes
+    ========  ==========================  ========
+    """
+
+    def __init__(
+        self,
+        app: VRApp,
+        controller: EccentricityController,
+        uses_uca: bool,
+        name: str,
+        platform: PlatformConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(app, platform, seed)
+        self.controller = controller
+        self.uses_uca = uses_uca
+        self.name = name
+        self.foveation = FoveationModel(self.display)
+        self.engine = PartitionEngine(self.foveation, self.codec)
+        self.uca = UCAUnit(self.platform.uca)
+
+    def _simulate(self, scheduler, workloads):
+        self.controller.reset()
+        records: list[FrameRecord] = []
+        pace: list[Task] = []
+        merges: list[Task] = []
+        prev_motion = None
+        current_e1 = getattr(self.controller, "e1_deg", constants.MIN_ECCENTRICITY_DEG)
+        for wl in workloads:
+            cl, ls = self._frontend(scheduler, wl.index, pace)
+
+            # --- controller: choose e1 from hardware-visible state -------------
+            pose_delta = (
+                wl.motion.pose.delta_from(prev_motion.pose)
+                if prev_motion is not None
+                else PoseDelta()
+            )
+            gaze_delta = (
+                wl.motion.gaze.delta_from(prev_motion.gaze)
+                if prev_motion is not None
+                else GazeDelta()
+            )
+            prev_motion = wl.motion
+            probe = self.foveation.plan(
+                current_e1, None, wl.motion.gaze.x_px, wl.motion.gaze.y_px
+            )
+            context = ControlContext(
+                pose_delta=pose_delta,
+                gaze_delta=gaze_delta,
+                triangles=wl.full.vertices,
+                fovea_fraction=probe.fovea_fraction,
+                periphery_pixels=probe.periphery_pixels,
+                ack_throughput_bytes_per_ms=self.channel.ack_throughput_bytes_per_ms,
+            )
+            e1 = self.controller.select_e1(context)
+            current_e1 = e1
+            liwc_task = scheduler.submit(
+                f"f{wl.index}:LIWC", LIWC_SELECT_MS, R.LIWC, deps=(cl,)
+            )
+
+            # --- partition and per-portion timings --------------------------------
+            part = self.engine.partition(
+                wl.full, e1, wl.motion.gaze, wl.content_complexity
+            )
+            local_ms = self.mobile.render_time_ms(part.local)
+            rr_ms = self.remote.render_time_ms(part.remote)
+            enc_ms = self.remote.encode_time_ms(part.plan.periphery_pixels)
+            transmit_ms = self.channel.transfer_time_ms(part.transmitted_bytes)
+            decode_ms = self.codec.decode_time_ms(part.plan.periphery_pixels)
+
+            lr = scheduler.submit(
+                f"f{wl.index}:LR", local_ms, R.GPU, deps=(ls, liwc_task)
+            )
+            if part.plan.covers_full_frame:
+                remote_ready = ls
+                transmit_ms = 0.0
+                net_busy = 0.0
+            else:
+                _, vd = self._remote_chain(
+                    scheduler, wl.index, ls, rr_ms, enc_ms, transmit_ms, decode_ms
+                )
+                remote_ready = vd
+                net_busy = transmit_ms
+
+            # --- composition + ATW ---------------------------------------------------
+            pixels = self.app.pixels_per_frame
+            if self.uses_uca:
+                tail = self.uca.critical_tail_ms(self.app.width_px, self.app.height_px)
+                merge = scheduler.submit(
+                    f"f{wl.index}:UCA", tail, R.UCA, deps=(lr, remote_ready)
+                )
+                gpu_busy = local_ms
+                uca_busy = self.uca.occupancy_ms(self.app.width_px, self.app.height_px)
+                merge_path_ms = tail
+            else:
+                comp = self.mobile.foveated_composition_cost(pixels)
+                c = scheduler.submit(
+                    f"f{wl.index}:C", comp.total_ms, R.GPU, deps=(lr, remote_ready)
+                )
+                atw_cost = self.mobile.atw_cost(pixels)
+                merge = scheduler.submit(
+                    f"f{wl.index}:ATW", atw_cost.total_ms, R.GPU, deps=(c,)
+                )
+                gpu_busy = local_ms + comp.total_ms + atw_cost.total_ms
+                uca_busy = 0.0
+                merge_path_ms = comp.total_ms + atw_cost.total_ms
+            disp = scheduler.submit(
+                f"f{wl.index}:DISP", constants.DISPLAY_SCANOUT_MS, None, deps=(merge,)
+            )
+            scheduler.run()
+
+            # --- pacing and controller feedback -----------------------------------------
+            merges.append(merge)
+            pace = [ls]
+            if self.controller.requires_completed_frame:
+                # Software control logic must wait for this frame's outputs
+                # (Fig. 4-B) before the next frame's CL may run.
+                pace.append(merge)
+            elif len(merges) >= _PACING_WINDOW:
+                pace.append(merges[-_PACING_WINDOW])
+
+            des_remote_ms = (
+                remote_ready.finish() - ls.finish()
+                if remote_ready is not ls
+                else 0.0
+            )
+            serial_remote = (
+                0.0
+                if part.plan.covers_full_frame
+                else self._serial_remote_ms(rr_ms, enc_ms, transmit_ms, decode_ms)
+            )
+            self.controller.observe(
+                ControlFeedback(
+                    measured_local_ms=local_ms,
+                    measured_remote_ms=serial_remote,
+                    triangles=wl.full.vertices,
+                    fovea_fraction=part.plan.fovea_fraction,
+                    periphery_pixels=part.plan.periphery_pixels,
+                    payload_bytes=part.transmitted_bytes,
+                    ack_throughput_bytes_per_ms=self.channel.ack_throughput_bytes_per_ms,
+                )
+            )
+            assert lr.start_ms is not None
+            records.append(
+                FrameRecord(
+                    index=wl.index,
+                    tracking_ms=self._tracking_time(lr.start_ms, ls.finish()),
+                    display_ms=disp.finish(),
+                    path_latency_ms=self._path_latency_ms(
+                        max(local_ms, serial_remote), merge_path_ms
+                    ),
+                    e1_deg=part.plan.e1_deg,
+                    e2_deg=part.plan.e2_deg,
+                    local_ms=local_ms,
+                    remote_path_ms=serial_remote,
+                    transmitted_bytes=part.transmitted_bytes,
+                    gpu_busy_ms=gpu_busy,
+                    net_busy_ms=net_busy,
+                    vd_busy_ms=decode_ms if remote_ready is not ls else 0.0,
+                    uca_busy_ms=uca_busy,
+                    cpu_busy_ms=CL_MS + LS_MS,
+                    resolution_reduction=part.plan.resolution_reduction,
+                    dropped=des_remote_ms > constants.MTP_LATENCY_REQUIREMENT_MS,
+                )
+            )
+        return records
+
+
+#: Registry of constructible design names.
+SYSTEM_NAMES: tuple[str, ...] = (
+    "local",
+    "remote",
+    "static",
+    "ffr",
+    "dfr",
+    "sw-qvr",
+    "qvr",
+)
+
+
+def make_system(
+    name: str,
+    app: VRApp,
+    platform: PlatformConfig | None = None,
+    seed: int = 0,
+) -> VRSystem:
+    """Construct a system design by its evaluation name.
+
+    Accepted names: ``local``, ``remote``, ``static``, ``ffr``, ``dfr``,
+    ``sw-qvr``, ``qvr`` (case-insensitive).
+    """
+    key = name.lower()
+    if key == "local":
+        return LocalOnlySystem(app, platform, seed)
+    if key == "remote":
+        return RemoteOnlySystem(app, platform, seed)
+    if key == "static":
+        return StaticCollaborativeSystem(app, platform, seed)
+    if key == "ffr":
+        return CollaborativeFoveatedSystem(
+            app, FixedEccentricityController(), uses_uca=False, name="ffr",
+            platform=platform, seed=seed,
+        )
+    if key == "dfr":
+        return CollaborativeFoveatedSystem(
+            app, LIWCController(), uses_uca=False, name="dfr",
+            platform=platform, seed=seed,
+        )
+    if key == "sw-qvr":
+        # The paper's pure-software Q-VR implements everything in software:
+        # eccentricity selection from previous-frame measured latencies, and
+        # composition/ATW on the GPU (Sec. 6.1 credits Q-VR's frame-rate
+        # advantage over it both to LIWC's hardware prediction and to
+        # detaching ATW/composition from GPU core execution).
+        return CollaborativeFoveatedSystem(
+            app, SoftwareAdaptiveController(), uses_uca=False, name="sw-qvr",
+            platform=platform, seed=seed,
+        )
+    if key == "qvr":
+        return CollaborativeFoveatedSystem(
+            app, LIWCController(), uses_uca=True, name="qvr",
+            platform=platform, seed=seed,
+        )
+    raise ConfigurationError(f"unknown system {name!r}; known: {SYSTEM_NAMES}")

@@ -1,0 +1,157 @@
+"""Motion-correlated scene dynamics (paper Sec. 4.1, Figs. 5 and 8).
+
+Two observations drive LIWC's design and must hold in the synthetic
+workloads:
+
+1. *"The scene complexity change for the local foveated rendering across
+   continuous frames is highly related to user's head and eye motions"*
+   (Fig. 8) — as the fovea sweeps across the scene, the geometry under it
+   changes; fast head motion means fast complexity change.
+2. Interaction changes workload (Fig. 5) — approaching an interactive
+   object raises its level of detail and render cost.
+
+:class:`SceneComplexityModel` produces a per-frame complexity multiplier
+combining (a) spatial *hotspots* — fixed dense regions of the scene in
+gaze space, so complexity is a deterministic function of where the user
+looks, (b) an activity coupling, and (c) a slow OU noise floor for scene
+animation.  :class:`InteractionModel` produces the closeness signal for
+tethered apps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.motion.traces import MotionSample
+
+__all__ = ["SceneComplexityModel", "InteractionModel"]
+
+
+@dataclass(frozen=True)
+class _Hotspot:
+    """A dense scene region in normalised gaze space."""
+
+    x: float
+    y: float
+    sigma: float
+    gain: float
+
+
+class SceneComplexityModel:
+    """Per-frame complexity multiplier correlated with user motion.
+
+    Parameters
+    ----------
+    panel_width_px, panel_height_px:
+        Gaze coordinate bounds.
+    n_hotspots:
+        Number of dense scene regions.
+    activity_gain:
+        Complexity response to head-motion activity.
+    noise_sigma:
+        RMS of the slow OU scene-animation noise.
+    lo, hi:
+        Clamp range of the multiplier.
+    seed:
+        Hotspot placement / noise seed (per app).
+    """
+
+    def __init__(
+        self,
+        panel_width_px: int,
+        panel_height_px: int,
+        n_hotspots: int = 4,
+        activity_gain: float = 0.25,
+        hotspot_gain: float = 0.30,
+        noise_sigma: float = 0.05,
+        lo: float = 0.70,
+        hi: float = 1.40,
+        seed: int = 0,
+    ) -> None:
+        if panel_width_px <= 0 or panel_height_px <= 0:
+            raise WorkloadError("panel dimensions must be positive")
+        if lo <= 0 or hi < lo:
+            raise WorkloadError(f"invalid clamp range [{lo}, {hi}]")
+        self.width = panel_width_px
+        self.height = panel_height_px
+        self.activity_gain = activity_gain
+        self.hotspot_gain = hotspot_gain
+        self.noise_sigma = noise_sigma
+        self.lo = lo
+        self.hi = hi
+        rng = np.random.default_rng(seed)
+        self._hotspots = [
+            _Hotspot(
+                x=float(rng.uniform(0.15, 0.85)),
+                y=float(rng.uniform(0.15, 0.85)),
+                sigma=float(rng.uniform(0.12, 0.3)),
+                gain=float(rng.uniform(0.5, 1.0)),
+            )
+            for _ in range(n_hotspots)
+        ]
+        self._noise_rng = np.random.default_rng(seed + 1)
+        self._noise = 0.0
+        self._noise_decay = 0.9
+
+    def hotspot_density(self, gaze_x_px: float, gaze_y_px: float) -> float:
+        """Scene density under the gaze point, in [0, 1]."""
+        gx = gaze_x_px / self.width
+        gy = gaze_y_px / self.height
+        density = 0.0
+        for spot in self._hotspots:
+            d2 = (gx - spot.x) ** 2 + (gy - spot.y) ** 2
+            density += spot.gain * math.exp(-d2 / (2.0 * spot.sigma**2))
+        return min(1.0, density)
+
+    def step(self, sample: MotionSample) -> float:
+        """Advance one frame and return the complexity multiplier."""
+        self._noise = self._noise * self._noise_decay + self.noise_sigma * math.sqrt(
+            1.0 - self._noise_decay**2
+        ) * float(self._noise_rng.standard_normal())
+        density = self.hotspot_density(sample.gaze.x_px, sample.gaze.y_px)
+        multiplier = (
+            1.0
+            + self.activity_gain * (sample.activity - 0.3)
+            + self.hotspot_gain * (density - 0.5)
+            + self._noise
+        )
+        return float(np.clip(multiplier, self.lo, self.hi))
+
+
+class InteractionModel:
+    """Mean-reverting interaction-closeness process for tethered apps.
+
+    Produces a closeness signal in [0, 1] (0 = far, 1 = touching) whose
+    excursions reproduce the paper's Fig. 5: users drift toward and away
+    from interactive objects over seconds.
+    """
+
+    def __init__(
+        self,
+        mean_closeness: float = 0.35,
+        swing: float = 0.35,
+        correlation_frames: float = 45.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= mean_closeness <= 1:
+            raise WorkloadError(f"mean_closeness must be in [0, 1], got {mean_closeness}")
+        if correlation_frames <= 0:
+            raise WorkloadError("correlation_frames must be positive")
+        self.mean = mean_closeness
+        self.swing = swing
+        self._decay = math.exp(-1.0 / correlation_frames)
+        self._rng = np.random.default_rng(seed)
+        self._state = 0.0
+
+    def step(self) -> float:
+        """Advance one frame and return the closeness in [0, 1]."""
+        diffusion = math.sqrt(1.0 - self._decay**2)
+        self._state = self._state * self._decay + diffusion * float(
+            self._rng.standard_normal()
+        )
+        closeness = self.mean + self.swing * self._state
+        return float(np.clip(closeness, 0.0, 1.0))

@@ -1,0 +1,133 @@
+"""Tests for the experiment harness (short runs) and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import ANCHORS, within_band
+from repro.analysis.experiments import (
+    fig3_motivation,
+    fig5_interaction_latency,
+    fig6_foveal_sizing,
+    fig14_balancing,
+    overhead_analysis,
+    table1_static_characterization,
+    table4_eccentricity,
+)
+from repro.analysis.report import format_series, format_table
+from repro.network.conditions import WIFI
+from repro.workloads.apps import TABLE3_ORDER
+from repro.workloads.tethered import TABLE1_ORDER
+
+
+class TestCalibrationAnchors:
+    def test_anchor_bands_contain_paper_values(self):
+        for anchor in ANCHORS.values():
+            assert anchor.low <= anchor.paper_value <= anchor.high, anchor.name
+
+    def test_within_band(self):
+        assert within_band("qvr_avg_speedup", 3.4)
+        assert not within_band("qvr_avg_speedup", 0.5)
+
+    def test_unknown_anchor(self):
+        with pytest.raises(KeyError):
+            within_band("warp_speed", 1.0)
+
+
+class TestFig3:
+    def test_rows_cover_table1_apps(self):
+        local_rows, remote_rows = fig3_motivation()
+        assert [r.app for r in local_rows] == list(TABLE1_ORDER)
+        assert [r.app for r in remote_rows] == list(TABLE1_ORDER)
+
+    def test_local_has_no_network_terms(self):
+        local_rows, _ = fig3_motivation()
+        assert all(r.transmit_ms == 0 and r.sending_ms == 0 for r in local_rows)
+
+    def test_remote_transmit_share_band(self):
+        _, remote_rows = fig3_motivation()
+        share = np.mean([r.transmit_share for r in remote_rows])
+        assert ANCHORS["remote_transmit_share"].check(float(share))
+
+
+class TestTable1:
+    def test_back_sizes_match_paper_band(self):
+        rows = table1_static_characterization(n_frames=150)
+        for row in rows:
+            assert 400 < row.back_size_kb < 700, row.app
+
+    def test_remote_times_match_paper_band(self):
+        rows = table1_static_characterization(n_frames=150)
+        for row in rows:
+            assert 25 < row.remote_ms < 45, row.app
+
+    def test_local_stats_ordered(self):
+        for row in table1_static_characterization(n_frames=150):
+            assert row.min_local_ms <= row.avg_local_ms <= row.max_local_ms
+
+
+class TestFig5:
+    def test_nature_span(self):
+        points = fig5_interaction_latency("Nature", (0.0, 1.0))
+        assert points[0][1] < 13
+        assert points[1][1] > 24
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            fig5_interaction_latency("DOOM Eternal")
+
+
+class TestFig6:
+    def test_budget_holds_at_fifteen_degrees(self):
+        rows = fig6_foveal_sizing(e1_values_deg=(5, 10, 15))
+        assert all(r.local_latency_ms <= 11.2 for r in rows)
+
+    def test_three_scenes_present(self):
+        rows = fig6_foveal_sizing(e1_values_deg=(10,))
+        assert len({r.scene for r in rows}) == 3
+
+
+class TestFig14:
+    def test_short_run_converges(self):
+        series = fig14_balancing(n_frames=120)
+        for s in series:
+            late = float(np.nanmean(s.latency_ratios[-30:]))
+            assert 0.5 < late < 2.0, s.app
+
+
+class TestTable4:
+    def test_single_cell_sweep(self):
+        cells = table4_eccentricity(
+            n_frames=60, frequencies=(500.0,), networks=(WIFI,), apps=("Doom3-L",)
+        )
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.app == "Doom3-L"
+        assert 5.0 <= cell.mean_e1_deg <= 90.0
+
+
+class TestOverheads:
+    def test_reports_present(self):
+        reports = overhead_analysis()
+        assert set(reports) == {"LIWC", "UCA"}
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], ["x", "yy"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_table_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_format_series(self):
+        text = format_series("ratios", [1.0, 2.0, 3.0], per_line=2)
+        assert text.startswith("ratios:")
+        assert len(text.splitlines()) == 3

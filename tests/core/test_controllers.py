@@ -1,0 +1,132 @@
+"""Tests for the eccentricity controller implementations."""
+
+import pytest
+
+from repro import constants
+from repro.core.controllers import (
+    ControlContext,
+    ControlFeedback,
+    FixedEccentricityController,
+    LIWCController,
+    SoftwareAdaptiveController,
+)
+from repro.errors import ControllerError
+from repro.motion.dof import GazeDelta, PoseDelta
+
+
+def _context(**overrides):
+    defaults = dict(
+        pose_delta=PoseDelta(),
+        gaze_delta=GazeDelta(),
+        triangles=1e6,
+        fovea_fraction=0.1,
+        periphery_pixels=1e6,
+        ack_throughput_bytes_per_ms=20_000.0,
+    )
+    defaults.update(overrides)
+    return ControlContext(**defaults)
+
+
+def _feedback(local_ms, remote_ms):
+    return ControlFeedback(
+        measured_local_ms=local_ms,
+        measured_remote_ms=remote_ms,
+        triangles=1e6,
+        fovea_fraction=0.1,
+        periphery_pixels=1e6,
+        payload_bytes=1e5,
+        ack_throughput_bytes_per_ms=20_000.0,
+    )
+
+
+class TestFixedController:
+    def test_default_is_classic_fovea(self):
+        ctl = FixedEccentricityController()
+        assert ctl.select_e1(_context()) == constants.CLASSIC_FOVEA_ECCENTRICITY_DEG
+
+    def test_ignores_feedback(self):
+        ctl = FixedEccentricityController(7.0)
+        ctl.observe(_feedback(1.0, 50.0))
+        assert ctl.select_e1(_context()) == 7.0
+
+    def test_not_serialising(self):
+        assert FixedEccentricityController().requires_completed_frame is False
+
+    def test_invalid_e1(self):
+        with pytest.raises(ControllerError):
+            FixedEccentricityController(0.0)
+
+
+class TestSoftwareController:
+    def test_requires_completed_frame(self):
+        """The defining property: software control serialises the pipeline."""
+        assert SoftwareAdaptiveController().requires_completed_frame is True
+
+    def test_first_frame_uses_initial_e1(self):
+        ctl = SoftwareAdaptiveController(initial_e1_deg=12.0)
+        assert ctl.select_e1(_context()) == 12.0
+
+    def test_moves_toward_balance(self):
+        ctl = SoftwareAdaptiveController()
+        ctl.observe(_feedback(local_ms=2.0, remote_ms=10.0))  # remote slower
+        e1_up = ctl.select_e1(_context())
+        assert e1_up > constants.MIN_ECCENTRICITY_DEG
+
+    def test_step_clamped_to_five_degrees(self):
+        ctl = SoftwareAdaptiveController(initial_e1_deg=20.0)
+        ctl.observe(_feedback(local_ms=0.0, remote_ms=100.0))
+        assert ctl.select_e1(_context()) == pytest.approx(25.0)
+        ctl.observe(_feedback(local_ms=100.0, remote_ms=0.0))
+        assert ctl.select_e1(_context()) == pytest.approx(20.0)
+
+    def test_lags_one_frame(self):
+        """The controller uses *previous*-frame data: no reaction on frame 1."""
+        ctl = SoftwareAdaptiveController()
+        first = ctl.select_e1(_context())
+        second_before_feedback = ctl.select_e1(_context())
+        assert first == second_before_feedback
+
+    def test_bounds_respected(self):
+        ctl = SoftwareAdaptiveController()
+        for _ in range(50):
+            ctl.observe(_feedback(0.0, 100.0))
+            e1 = ctl.select_e1(_context())
+        assert e1 <= constants.MAX_ECCENTRICITY_DEG
+        for _ in range(50):
+            ctl.observe(_feedback(100.0, 0.0))
+            e1 = ctl.select_e1(_context())
+        assert e1 >= constants.MIN_ECCENTRICITY_DEG
+
+    def test_reset(self):
+        ctl = SoftwareAdaptiveController(initial_e1_deg=9.0)
+        ctl.observe(_feedback(0.0, 50.0))
+        ctl.select_e1(_context())
+        ctl.reset()
+        assert ctl.select_e1(_context()) == 9.0
+
+    def test_invalid_gain(self):
+        with pytest.raises(ControllerError):
+            SoftwareAdaptiveController(gain_deg_per_ms=0.0)
+
+
+class TestLIWCControllerAdapter:
+    def test_not_serialising(self):
+        """Hardware prediction frees the pipeline: no completed-frame wait."""
+        assert LIWCController().requires_completed_frame is False
+
+    def test_select_and_observe_roundtrip(self):
+        ctl = LIWCController()
+        e1 = ctl.select_e1(_context())
+        assert constants.MIN_ECCENTRICITY_DEG <= e1 <= constants.MAX_ECCENTRICITY_DEG
+        ctl.observe(_feedback(2.0, 8.0))
+        e1_next = ctl.select_e1(_context())
+        assert constants.MIN_ECCENTRICITY_DEG <= e1_next <= constants.MAX_ECCENTRICITY_DEG
+
+    def test_reset_restores_min_e1(self):
+        ctl = LIWCController()
+        for _ in range(10):
+            ctl.select_e1(_context())
+            ctl.observe(_feedback(0.5, 20.0))
+        assert ctl.e1_deg > constants.MIN_ECCENTRICITY_DEG
+        ctl.reset()
+        assert ctl.e1_deg == constants.MIN_ECCENTRICITY_DEG

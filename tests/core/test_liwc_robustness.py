@@ -1,0 +1,140 @@
+"""Failure-injection tests: LIWC under environment disruption.
+
+The paper's motivation for dynamic control is "realtime uncertainties:
+unpredictable user inputs and environment (hardware and network) changes".
+These tests drive the controller through abrupt environment shifts and
+verify it re-converges, never leaves its legal range, and degrades
+gracefully when the environment becomes hostile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.liwc import LIWC, LIWCConfig
+from repro.motion.dof import GazeDelta, PoseDelta
+
+
+class _DynamicEnv:
+    """A local/remote latency environment whose parameters can be mutated."""
+
+    def __init__(self):
+        self.local_slope = 0.25       # ms per degree of e1
+        self.remote_at_zero = 12.0    # ms at e1 = 0
+        self.remote_slope = 0.18      # ms saved per degree of e1
+        self.noise = 0.0
+        self._rng = np.random.default_rng(0)
+
+    def local_ms(self, e1):
+        return self.local_slope * e1 + self.noise * abs(self._rng.standard_normal())
+
+    def remote_ms(self, e1):
+        base = max(self.remote_at_zero - self.remote_slope * e1, 1.0)
+        return base + self.noise * abs(self._rng.standard_normal())
+
+
+def _step(liwc: LIWC, env: _DynamicEnv) -> tuple[float, float, float]:
+    triangles = 1e6
+    e1 = liwc.e1_deg
+    fovea_fraction = min(e1 / 90.0, 1.0)
+    periphery = max(1e6 * (1 - fovea_fraction), 0.0)
+    liwc.select(PoseDelta(), GazeDelta(), triangles, fovea_fraction, periphery, 20_000.0)
+    e1 = liwc.e1_deg
+    local = env.local_ms(e1)
+    remote = env.remote_ms(e1)
+    liwc.observe(
+        local, remote, triangles, min(e1 / 90.0, 1.0),
+        max(1e6 * (1 - e1 / 90.0), 0.0), max(1e5 * (1 - e1 / 90.0), 1.0), 20_000.0,
+    )
+    return e1, local, remote
+
+
+class TestNetworkCollapse:
+    def test_reconverges_after_bandwidth_drop(self):
+        """Remote latency suddenly doubles: e1 must migrate upward."""
+        env = _DynamicEnv()
+        liwc = LIWC(LIWCConfig(deadband_ms=0.1))
+        for _ in range(120):
+            _step(liwc, env)
+        e1_before = liwc.e1_deg
+        env.remote_at_zero = 24.0  # the link degrades
+        for _ in range(150):
+            e1, local, remote = _step(liwc, env)
+        assert liwc.e1_deg > e1_before + 3.0
+        assert abs(remote - local) < 4.0  # re-balanced
+
+    def test_reconverges_after_bandwidth_boost(self):
+        """Remote latency halves (network upgrade): e1 must shrink."""
+        env = _DynamicEnv()
+        liwc = LIWC(LIWCConfig(deadband_ms=0.1))
+        for _ in range(120):
+            _step(liwc, env)
+        e1_before = liwc.e1_deg
+        env.remote_at_zero = 5.0
+        for _ in range(150):
+            _step(liwc, env)
+        assert liwc.e1_deg < e1_before - 3.0
+
+
+class TestWorkloadSpike:
+    def test_scene_spike_shifts_balance_down(self):
+        """Local rendering becomes 3x costlier: offload more (smaller e1)."""
+        env = _DynamicEnv()
+        liwc = LIWC(LIWCConfig(deadband_ms=0.1))
+        for _ in range(120):
+            _step(liwc, env)
+        e1_before = liwc.e1_deg
+        env.local_slope = 0.75
+        for _ in range(150):
+            _step(liwc, env)
+        assert liwc.e1_deg < e1_before - 2.0
+
+
+class TestNoiseRobustness:
+    def test_stays_bounded_under_heavy_noise(self):
+        env = _DynamicEnv()
+        env.noise = 3.0
+        liwc = LIWC()
+        trajectory = []
+        for _ in range(300):
+            e1, _, _ = _step(liwc, env)
+            trajectory.append(e1)
+        assert all(5.0 <= e1 <= 90.0 for e1 in trajectory)
+        # Despite noise, the time-average sits near the noise-free balance.
+        noise_free = _DynamicEnv()
+        clean = LIWC()
+        for _ in range(300):
+            _step(clean, noise_free)
+        assert abs(np.mean(trajectory[150:]) - clean.e1_deg) < 20.0
+
+    def test_deadband_suppresses_hunting(self):
+        """A wide deadband must produce fewer eccentricity changes."""
+        def run(deadband):
+            env = _DynamicEnv()
+            env.noise = 0.3
+            liwc = LIWC(LIWCConfig(deadband_ms=deadband))
+            changes = 0
+            prev = liwc.e1_deg
+            for _ in range(250):
+                _step(liwc, env)
+                if liwc.e1_deg != prev:
+                    changes += 1
+                prev = liwc.e1_deg
+            return changes
+
+        assert run(deadband=2.0) <= run(deadband=0.01)
+
+
+class TestExtremeInputs:
+    def test_zero_triangles_frame(self):
+        """An empty frame (scene load) must not crash or corrupt state."""
+        liwc = LIWC()
+        liwc.select(PoseDelta(), GazeDelta(), 0.0, 0.0, 0.0, 20_000.0)
+        liwc.observe(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 20_000.0)
+        assert 5.0 <= liwc.e1_deg <= 90.0
+
+    def test_violent_motion_codes_valid(self):
+        liwc = LIWC()
+        wild = PoseDelta(dx=5, dy=-5, dz=5, dyaw=179, dpitch=-90, droll=45)
+        saccade = GazeDelta(dx_px=1800, dy_px=-2000)
+        e1 = liwc.select(wild, saccade, 5e6, 0.2, 2e6, 20_000.0)
+        assert 5.0 <= e1 <= 90.0

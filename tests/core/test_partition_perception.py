@@ -1,0 +1,141 @@
+"""Tests for the partition engine and the perception-constraint checker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.h264 import H264Model
+from repro.core.foveation import DisplayGeometry, FoveationModel
+from repro.core.partition import (
+    CULLING_RESIDUE,
+    FramePartition,
+    PartitionEngine,
+    split_local_workload,
+    split_remote_workload,
+)
+from repro.core.perception import check_plan, quality_score
+from repro.errors import FoveationError
+from repro.gpu.perf_model import RenderWorkload
+from repro.motion.dof import GazePoint
+
+
+@pytest.fixture
+def model():
+    return FoveationModel(DisplayGeometry(1920, 2160))
+
+
+@pytest.fixture
+def engine(model):
+    return PartitionEngine(model)
+
+
+@pytest.fixture
+def full_workload():
+    return RenderWorkload(
+        vertices=1e6, fragments=14e6, fragment_cycles=300.0, draw_batches=500.0
+    )
+
+
+class TestWorkloadSplit:
+    def test_local_fragments_scale_with_area(self, model, full_workload):
+        plan = model.plan(20.0)
+        local = split_local_workload(full_workload, plan)
+        assert local.fragments == pytest.approx(
+            full_workload.fragments * plan.fovea_fraction
+        )
+
+    def test_local_vertices_keep_culling_residue(self, model, full_workload):
+        plan = model.plan(5.0)
+        local = split_local_workload(full_workload, plan)
+        assert local.vertices >= full_workload.vertices * CULLING_RESIDUE * 0.99
+
+    def test_remote_fragments_are_downsampled_pixels(self, model, full_workload):
+        plan = model.plan(20.0)
+        remote = split_remote_workload(full_workload, plan)
+        expected = full_workload.fragments * plan.periphery_pixels / plan.native_pixels
+        assert remote.fragments == pytest.approx(expected)
+
+    def test_split_shrinks_with_larger_fovea_on_remote(self, model, full_workload):
+        small = split_remote_workload(full_workload, model.plan(10.0))
+        large = split_remote_workload(full_workload, model.plan(40.0))
+        assert large.fragments < small.fragments
+
+
+class TestPartitionEngine:
+    def test_partition_structure(self, engine, full_workload):
+        part = engine.partition(full_workload, 20.0)
+        assert isinstance(part, FramePartition)
+        assert part.transmitted_bytes == part.middle_bytes + part.outer_bytes
+        assert part.transmitted_bytes > 0
+
+    def test_gaze_affects_partition(self, engine, full_workload):
+        centred = engine.partition(full_workload, 30.0)
+        cornered = engine.partition(
+            full_workload, 30.0, gaze=GazePoint(50.0, 50.0)
+        )
+        assert cornered.plan.fovea_pixels < centred.plan.fovea_pixels
+
+    def test_complexity_raises_payload(self, engine, full_workload):
+        low = engine.partition(full_workload, 15.0, content_complexity=0.1)
+        high = engine.partition(full_workload, 15.0, content_complexity=0.9)
+        assert high.transmitted_bytes > low.transmitted_bytes
+
+    def test_full_local_partition_has_no_payload(self, engine, full_workload):
+        corner = engine.foveation.display.corner_eccentricity_deg
+        part = engine.partition(full_workload, corner + 5.0)
+        assert part.transmitted_bytes == pytest.approx(0.0, abs=100.0)
+
+    def test_negative_e1_rejected(self, engine, full_workload):
+        with pytest.raises(FoveationError):
+            engine.partition(full_workload, -2.0)
+
+    @given(st.floats(min_value=5.0, max_value=60.0))
+    @settings(max_examples=20, deadline=None)
+    def test_payload_monotone_decreasing_in_e1(self, e1):
+        """More local fovea always means less to transmit."""
+        model = FoveationModel(DisplayGeometry(1920, 2160))
+        engine = PartitionEngine(model, H264Model())
+        wl = RenderWorkload(1e6, 14e6, 300.0, 500.0)
+        a = engine.partition(wl, e1).transmitted_bytes
+        b = engine.partition(wl, e1 + 5.0).transmitted_bytes
+        assert b <= a * (1 + 1e-6)
+
+
+class TestPerception:
+    def test_mar_constrained_plan_passes_survey(self, model):
+        """The paper's survey conclusion: MAR-satisfying plans look perfect."""
+        for e1 in (5.0, 15.0, 30.0, 50.0):
+            verdict = check_plan(model, model.plan(e1))
+            assert verdict.passes
+
+    def test_violating_plan_fails(self, model):
+        plan = model.plan(10.0)
+        bad = type(plan)(
+            e1_deg=plan.e1_deg,
+            e2_deg=plan.e2_deg,
+            middle_scale=plan.middle_scale * 10,
+            outer_scale=plan.outer_scale,
+            fovea_pixels=plan.fovea_pixels,
+            middle_pixels=plan.middle_pixels,
+            outer_pixels=plan.outer_pixels,
+            native_pixels=plan.native_pixels,
+        )
+        verdict = check_plan(model, bad)
+        assert not verdict.passes
+        assert verdict.middle_margin < 1.0
+
+    def test_quality_score_ceiling_while_constrained(self, model):
+        assert quality_score(model, model.plan(25.0)) == 5.0
+
+    def test_quality_score_degrades_with_violation(self, model):
+        plan = model.plan(10.0)
+        bad = type(plan)(
+            e1_deg=plan.e1_deg,
+            e2_deg=plan.e2_deg,
+            middle_scale=plan.middle_scale * 4,
+            outer_scale=plan.outer_scale * 4,
+            fovea_pixels=plan.fovea_pixels,
+            middle_pixels=plan.middle_pixels,
+            outer_pixels=plan.outer_pixels,
+            native_pixels=plan.native_pixels,
+        )
+        assert quality_score(model, bad) < 5.0

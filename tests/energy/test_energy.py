@@ -1,0 +1,153 @@
+"""Tests for power models, McPAT overhead estimates and energy accounting."""
+
+import pytest
+
+from repro.analysis.calibration import ANCHORS
+from repro.energy.accounting import EnergyAccountant
+from repro.energy.mcpat import estimate_liwc, estimate_sram, estimate_uca
+from repro.energy.power import AcceleratorPower, GPUPowerModel, RADIO_POWER, RadioPowerModel
+from repro.errors import ConfigurationError
+from repro.sim.metrics import FrameRecord, SimulationResult
+
+
+class TestGPUPower:
+    def test_dynamic_scaling_superlinear(self):
+        model = GPUPowerModel()
+        assert model.dynamic_w(500) == pytest.approx(model.dynamic_w_at_reference)
+        # Halving frequency saves more than half the dynamic power.
+        assert model.dynamic_w(250) < 0.5 * model.dynamic_w(500)
+
+    def test_energy_combines_dynamic_and_static(self):
+        model = GPUPowerModel(dynamic_w_at_reference=2.0, static_w=0.5)
+        energy = model.energy_mj(busy_ms=10.0, frame_span_ms=20.0, frequency_mhz=500)
+        assert energy == pytest.approx(2.0 * 10 + 0.5 * 20)
+
+    def test_busy_clamped_to_span(self):
+        model = GPUPowerModel(dynamic_w_at_reference=1.0, static_w=0.0)
+        assert model.energy_mj(50.0, 20.0, 500) == pytest.approx(20.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            GPUPowerModel(dynamic_w_at_reference=0.0)
+        with pytest.raises(ConfigurationError):
+            GPUPowerModel().dynamic_w(0.0)
+
+
+class TestRadioPower:
+    def test_lte_more_expensive_than_wifi(self):
+        assert RADIO_POWER["4G LTE"].active_w > RADIO_POWER["Wi-Fi"].active_w
+
+    def test_energy_includes_tail(self):
+        radio = RadioPowerModel(active_w=1.0, tail_w=0.5, tail_ms=5.0, idle_w=0.0)
+        with_transfer = radio.energy_mj(active_ms=2.0, frame_span_ms=10.0)
+        assert with_transfer == pytest.approx(2.0 * 1.0 + 0.5 * 5.0)
+
+    def test_no_tail_without_transfer(self):
+        radio = RadioPowerModel(active_w=1.0, tail_w=0.5, tail_ms=5.0, idle_w=0.1)
+        assert radio.energy_mj(0.0, 10.0) == pytest.approx(1.0 * 0 + 0.1 * 10)
+
+    def test_all_presets_present(self):
+        assert set(RADIO_POWER) == {"Wi-Fi", "4G LTE", "Early 5G"}
+
+
+class TestMcPAT:
+    def test_liwc_matches_paper(self):
+        """Sec. 4.3: 64 KB table -> ~0.66 mm^2, <= 25 mW."""
+        report = estimate_liwc()
+        assert ANCHORS["liwc_area_mm2"].check(report.area_mm2)
+        assert ANCHORS["liwc_power_mw"].check(report.power_mw)
+
+    def test_uca_matches_paper(self):
+        """Sec. 4.3: 4 MULs + 8 SIMD4 FPUs -> ~1.6 mm^2, ~94 mW."""
+        report = estimate_uca()
+        assert ANCHORS["uca_area_mm2"].check(report.area_mm2)
+        assert ANCHORS["uca_power_mw"].check(report.power_mw)
+
+    def test_power_scales_with_frequency(self):
+        assert estimate_uca(frequency_mhz=250).power_mw == pytest.approx(
+            estimate_uca(frequency_mhz=500).power_mw / 2
+        )
+
+    def test_sram_scales_with_size(self):
+        small = estimate_sram(32)
+        large = estimate_sram(64)
+        assert large.area_mm2 == pytest.approx(2 * small.area_mm2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            estimate_sram(0)
+        with pytest.raises(ConfigurationError):
+            estimate_liwc(table_depth=0)
+
+    def test_report_str(self):
+        assert "LIWC" in str(estimate_liwc())
+
+
+def _result(gpu_busy, net_busy, uca_busy=0.0, vd_busy=0.0, n=20, period=11.0):
+    records = [
+        FrameRecord(
+            index=i,
+            tracking_ms=i * period,
+            display_ms=i * period + 15,
+            gpu_busy_ms=gpu_busy,
+            net_busy_ms=net_busy,
+            uca_busy_ms=uca_busy,
+            vd_busy_ms=vd_busy,
+        )
+        for i in range(n)
+    ]
+    return SimulationResult("x", "app", records, warmup_frames=2)
+
+
+class TestAccounting:
+    def test_breakdown_components(self):
+        accountant = EnergyAccountant()
+        breakdown = accountant.breakdown(
+            _result(gpu_busy=5.0, net_busy=2.0, uca_busy=4.0, vd_busy=1.0),
+            gpu_frequency_mhz=500,
+            network_name="Wi-Fi",
+            has_liwc=True,
+            has_uca=True,
+        )
+        assert breakdown.gpu_mj > 0
+        assert breakdown.radio_mj > 0
+        assert breakdown.uca_mj > 0
+        assert breakdown.liwc_mj > 0
+        assert breakdown.total_mj == pytest.approx(
+            breakdown.gpu_mj
+            + breakdown.radio_mj
+            + breakdown.decoder_mj
+            + breakdown.liwc_mj
+            + breakdown.uca_mj
+        )
+
+    def test_local_baseline_has_no_radio(self):
+        accountant = EnergyAccountant()
+        breakdown = accountant.breakdown(
+            _result(gpu_busy=30.0, net_busy=0.0), 500, "Wi-Fi"
+        )
+        assert breakdown.radio_mj == 0.0
+
+    def test_normalized_energy_below_one_for_offload(self):
+        """A Q-VR-like run (small GPU busy) must beat the local baseline."""
+        accountant = EnergyAccountant()
+        qvr = _result(gpu_busy=6.0, net_busy=3.0, uca_busy=4.0, vd_busy=0.5, period=8.0)
+        local = _result(gpu_busy=35.0, net_busy=0.0, period=36.0)
+        ratio = accountant.normalized_energy(
+            qvr, local, 500, "Wi-Fi", has_liwc=True, has_uca=True
+        )
+        assert ratio < 0.6
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAccountant().breakdown(_result(1, 1), 500, "6G")
+
+    def test_empty_result_rejected(self):
+        empty = SimulationResult("x", "y", [], warmup_frames=0)
+        with pytest.raises(ConfigurationError):
+            EnergyAccountant().breakdown(empty, 500, "Wi-Fi")
+
+    def test_accelerator_power_defaults_match_mcpat(self):
+        acc = AcceleratorPower()
+        assert acc.liwc_w == pytest.approx(0.025)
+        assert acc.uca_w == pytest.approx(0.094)

@@ -1,0 +1,169 @@
+"""Tests for the functional graphics pipeline, including Eq. (3) == Eq. (4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphics.atw import bilinear_sample, reproject
+from repro.graphics.composition import compose, layer_weights
+from repro.graphics.frame import FrameLayers, LayerImage
+from repro.graphics.lens import LensModel
+from repro.graphics.unified_filter import classify_tiles_functional, unified_filter
+
+
+def _make_frame(rng, size=64, channels=None):
+    shape = (size, size) if channels is None else (size, size, channels)
+    half = (size // 2, size // 2) if channels is None else (size // 2, size // 2, channels)
+    third = (size // 3, size // 3) if channels is None else (size // 3, size // 3, channels)
+    return FrameLayers(
+        fovea=LayerImage(rng.random(shape), 1.0),
+        middle=LayerImage(rng.random(half), 2.0),
+        outer=LayerImage(rng.random(third), 3.0),
+        native_height=size,
+        native_width=size,
+        gaze_x=size * 0.55,
+        gaze_y=size * 0.45,
+        r1=size * 0.2,
+        r2=size * 0.4,
+    )
+
+
+class TestBilinearSample:
+    def test_identity_at_integer_coordinates(self):
+        rng = np.random.default_rng(0)
+        image = rng.random((16, 16))
+        ys, xs = np.meshgrid(np.arange(16.0), np.arange(16.0), indexing="ij")
+        assert np.allclose(bilinear_sample(image, xs, ys), image)
+
+    def test_midpoint_average(self):
+        image = np.array([[0.0, 1.0]])
+        value = bilinear_sample(image, np.array([0.5]), np.array([0.0]))
+        assert value[0] == pytest.approx(0.5)
+
+    def test_border_clamping(self):
+        image = np.array([[1.0, 2.0], [3.0, 4.0]])
+        value = bilinear_sample(image, np.array([-5.0]), np.array([-5.0]))
+        assert value[0] == pytest.approx(1.0)
+
+    def test_linearity(self):
+        """sample(aA + bB) == a sample(A) + b sample(B) — the UCA property."""
+        rng = np.random.default_rng(1)
+        a_img, b_img = rng.random((12, 12)), rng.random((12, 12))
+        xs = rng.uniform(0, 11, size=(5, 5))
+        ys = rng.uniform(0, 11, size=(5, 5))
+        combined = bilinear_sample(2.0 * a_img + 3.0 * b_img, xs, ys)
+        separate = 2.0 * bilinear_sample(a_img, xs, ys) + 3.0 * bilinear_sample(b_img, xs, ys)
+        assert np.allclose(combined, separate)
+
+    def test_multichannel(self):
+        rng = np.random.default_rng(2)
+        image = rng.random((8, 8, 3))
+        out = bilinear_sample(image, np.full((2, 2), 3.5), np.full((2, 2), 2.5))
+        assert out.shape == (2, 2, 3)
+
+
+class TestLayerWeights:
+    def test_weights_are_convex(self):
+        weights = layer_weights(64, 64, 32, 32, 12, 24, blend_px=4)
+        total = weights.sum(axis=0)
+        assert np.allclose(total, 1.0)
+        assert (weights >= 0).all()
+
+    def test_fovea_dominant_at_center(self):
+        weights = layer_weights(64, 64, 32, 32, 12, 24)
+        assert weights[0, 32, 32] == pytest.approx(1.0)
+
+    def test_outer_dominant_at_corner(self):
+        weights = layer_weights(64, 64, 32, 32, 12, 24)
+        assert weights[2, 0, 0] == pytest.approx(1.0)
+
+    def test_hard_borders_with_zero_blend(self):
+        weights = layer_weights(64, 64, 32, 32, 12, 24, blend_px=0)
+        assert set(np.unique(weights)) <= {0.0, 1.0}
+
+
+class TestEquation34Equivalence:
+    """The central UCA property: reordering composition and ATW is exact."""
+
+    @pytest.mark.parametrize("shift", [(0.0, 0.0), (2.3, -1.7), (-5.5, 3.25)])
+    def test_unified_equals_sequential(self, shift):
+        rng = np.random.default_rng(42)
+        frame = _make_frame(rng)
+        sequential = reproject(compose(frame), shift[0], shift[1])
+        fused = unified_filter(frame, shift[0], shift[1])
+        assert np.allclose(sequential, fused, atol=1e-12)
+
+    def test_unified_equals_sequential_with_lens(self):
+        rng = np.random.default_rng(7)
+        frame = _make_frame(rng)
+        lens = LensModel()
+        sequential = reproject(compose(frame), 1.5, -0.75, lens)
+        fused = unified_filter(frame, 1.5, -0.75, lens=lens)
+        assert np.allclose(sequential, fused, atol=1e-12)
+
+    def test_unified_equals_sequential_rgb(self):
+        rng = np.random.default_rng(9)
+        frame = _make_frame(rng, channels=3)
+        sequential = reproject(compose(frame), -2.0, 0.5)
+        fused = unified_filter(frame, -2.0, 0.5)
+        assert np.allclose(sequential, fused, atol=1e-12)
+
+    @given(
+        st.floats(min_value=-6.0, max_value=6.0),
+        st.floats(min_value=-6.0, max_value=6.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_property(self, sx, sy, seed):
+        rng = np.random.default_rng(seed)
+        frame = _make_frame(rng, size=48)
+        sequential = reproject(compose(frame), sx, sy)
+        fused = unified_filter(frame, sx, sy)
+        assert np.allclose(sequential, fused, atol=1e-10)
+
+
+class TestReproject:
+    def test_zero_shift_identity(self):
+        rng = np.random.default_rng(3)
+        image = rng.random((32, 32))
+        assert np.allclose(reproject(image, 0.0, 0.0), image)
+
+    def test_integer_shift_translates(self):
+        image = np.zeros((8, 8))
+        image[4, 4] = 1.0
+        shifted = reproject(image, 1.0, 0.0)
+        assert shifted[4, 3] == pytest.approx(1.0)
+
+    def test_lens_distortion_changes_output(self):
+        rng = np.random.default_rng(4)
+        image = rng.random((32, 32))
+        assert not np.allclose(reproject(image, 0, 0, LensModel()), image)
+
+
+class TestTileClassification:
+    def test_bound_tiles_exist_on_borders(self):
+        rng = np.random.default_rng(5)
+        frame = _make_frame(rng, size=96)
+        bound = classify_tiles_functional(frame, tile_px=16)
+        assert bound.any()
+        assert not bound.all()
+
+    def test_center_tile_unbound(self):
+        rng = np.random.default_rng(6)
+        frame = _make_frame(rng, size=96)
+        bound = classify_tiles_functional(frame, tile_px=16)
+        gaze_tile = (int(frame.gaze_y) // 16, int(frame.gaze_x) // 16)
+        assert not bound[gaze_tile]
+
+    def test_larger_radii_move_boundary(self):
+        rng = np.random.default_rng(8)
+        small = _make_frame(rng, size=96)
+        large = FrameLayers(
+            fovea=small.fovea, middle=small.middle, outer=small.outer,
+            native_height=96, native_width=96,
+            gaze_x=small.gaze_x, gaze_y=small.gaze_y,
+            r1=40, r2=60,
+        )
+        bound_small = classify_tiles_functional(small, tile_px=16)
+        bound_large = classify_tiles_functional(large, tile_px=16)
+        assert not np.array_equal(bound_small, bound_large)

@@ -1,0 +1,112 @@
+"""Tests for draw-batch geometry and the lens distortion model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphics.frame import LayerImage
+from repro.graphics.geometry import DrawBatch, SceneGeometry
+from repro.graphics.lens import LensModel
+from repro.errors import ConfigurationError
+
+
+def _scene():
+    return SceneGeometry(
+        batches=[
+            DrawBatch("sky", 5e3, depth=100.0, screen_coverage=0.5, material_cycles=50),
+            DrawBatch("terrain", 4e5, depth=20.0, screen_coverage=0.4, material_cycles=200),
+            DrawBatch("npc", 8e4, depth=2.0, screen_coverage=0.05, material_cycles=320,
+                      interactive=True),
+        ],
+        frame_pixels=8.3e6,
+    )
+
+
+class TestSceneGeometry:
+    def test_total_triangles(self):
+        assert _scene().total_triangles == pytest.approx(5e3 + 4e5 + 8e4)
+
+    def test_closest_batch_is_paper_heuristic(self):
+        assert _scene().closest_batch().name == "npc"
+
+    def test_tagged_interactive_preferred(self):
+        scene = _scene()
+        assert [b.name for b in scene.interactive_batches()] == ["npc"]
+
+    def test_untagged_falls_back_to_closest(self):
+        scene = _scene()
+        scene.batches = [
+            DrawBatch(b.name, b.triangles, b.depth, b.screen_coverage, b.material_cycles)
+            for b in scene.batches
+        ]
+        assert [b.name for b in scene.interactive_batches()] == ["npc"]
+
+    def test_static_split_partitions(self):
+        fg, bg = _scene().split_static()
+        assert {b.name for b in fg} == {"npc"}
+        assert {b.name for b in bg} == {"sky", "terrain"}
+
+    def test_workload_from_batches(self):
+        scene = _scene()
+        wl = scene.workload()
+        assert wl.vertices == pytest.approx(scene.total_triangles)
+        assert wl.draw_batches == 3
+        assert wl.fragments > 0
+
+    def test_workload_weighted_cycles(self):
+        wl = _scene().workload()
+        assert 50 < wl.fragment_cycles < 320
+
+    def test_empty_scene_errors(self):
+        with pytest.raises(WorkloadError):
+            SceneGeometry([], 1e6).closest_batch()
+
+    def test_invalid_batch(self):
+        with pytest.raises(WorkloadError):
+            DrawBatch("bad", -1, 1.0, 0.1, 10)
+        with pytest.raises(WorkloadError):
+            DrawBatch("bad", 1, 1.0, 2.0, 10)
+
+
+class TestLens:
+    def test_no_distortion_at_center(self):
+        lens = LensModel()
+        x, y = lens.distort(np.array([100.0]), np.array([100.0]), 100.0, 100.0, 100.0)
+        assert x[0] == pytest.approx(100.0)
+        assert y[0] == pytest.approx(100.0)
+
+    def test_barrel_pushes_outward(self):
+        lens = LensModel(k1=0.2, k2=0.0)
+        x, _ = lens.distort(np.array([150.0]), np.array([100.0]), 100.0, 100.0, 100.0)
+        assert x[0] > 150.0
+
+    def test_distortion_grows_with_radius(self):
+        lens = LensModel()
+        xs = np.array([110.0, 150.0, 190.0])
+        out_x, _ = lens.distort(xs, np.full(3, 100.0), 100.0, 100.0, 100.0)
+        displacement = out_x - xs
+        assert displacement[0] < displacement[1] < displacement[2]
+
+    def test_invalid_norm_radius(self):
+        with pytest.raises(ConfigurationError):
+            LensModel().distort(np.array([1.0]), np.array([1.0]), 0, 0, 0)
+
+
+class TestLayerImage:
+    def test_upsample_shape(self):
+        layer = LayerImage(np.ones((8, 8)), scale=2.0)
+        up = layer.upsampled(16, 16)
+        assert up.shape == (16, 16)
+        assert np.allclose(up, 1.0)
+
+    def test_upsample_preserves_mean_roughly(self):
+        rng = np.random.default_rng(0)
+        layer = LayerImage(rng.random((16, 16)), scale=2.0)
+        up = layer.upsampled(32, 32)
+        assert up.mean() == pytest.approx(layer.data.mean(), abs=0.05)
+
+    def test_invalid_layer(self):
+        with pytest.raises(ConfigurationError):
+            LayerImage(np.ones(5))
+        with pytest.raises(ConfigurationError):
+            LayerImage(np.ones((4, 4)), scale=0.5)

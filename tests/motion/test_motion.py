@@ -1,0 +1,163 @@
+"""Tests for pose algebra, motion traces and sensor sampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.motion.dof import GazeDelta, GazePoint, Pose, PoseDelta
+from repro.motion.sensors import SampledSensor, eye_tracker, head_tracker
+from repro.motion.traces import (
+    GazeMotionConfig,
+    HeadMotionConfig,
+    generate_trace,
+)
+
+
+class TestPoseAlgebra:
+    def test_delta_between_poses(self):
+        a = Pose(x=1.0, yaw=10.0)
+        b = Pose(x=1.5, yaw=15.0)
+        delta = b.delta_from(a)
+        assert delta.dx == pytest.approx(0.5)
+        assert delta.dyaw == pytest.approx(5.0)
+
+    def test_angle_wrap(self):
+        a = Pose(yaw=170.0)
+        b = Pose(yaw=-170.0)
+        assert b.delta_from(a).dyaw == pytest.approx(20.0)
+
+    def test_magnitudes(self):
+        delta = PoseDelta(dx=3.0, dy=4.0)
+        assert delta.translation_magnitude_m == pytest.approx(5.0)
+        delta = PoseDelta(dyaw=3.0, dpitch=4.0)
+        assert delta.rotation_magnitude_deg == pytest.approx(5.0)
+
+    def test_exceeds_flags(self):
+        delta = PoseDelta(dx=0.01, dyaw=1.0)
+        flags = delta.exceeds(0.005, 0.5)
+        assert flags == (True, False, False, True, False, False)
+
+    def test_gaze_delta(self):
+        a = GazePoint(100.0, 100.0)
+        b = GazePoint(130.0, 60.0)
+        delta = b.delta_from(a)
+        assert delta.magnitude_px == pytest.approx(50.0)
+        assert delta.direction_quadrant == 3  # +x, -y
+
+    def test_quadrants(self):
+        assert GazeDelta(1, 1).direction_quadrant == 0
+        assert GazeDelta(-1, 1).direction_quadrant == 1
+        assert GazeDelta(-1, -1).direction_quadrant == 2
+        assert GazeDelta(1, -1).direction_quadrant == 3
+
+    @given(st.floats(-1000, 1000), st.floats(-1000, 1000))
+    @settings(max_examples=40)
+    def test_delta_roundtrip(self, yaw_a, yaw_b):
+        delta = Pose(yaw=yaw_b % 360).delta_from(Pose(yaw=yaw_a % 360))
+        assert -180.0 < delta.dyaw <= 180.0
+
+
+class TestTraces:
+    def test_deterministic_for_seed(self):
+        a = generate_trace(50, 11.1, 1920, 2160, seed=4)
+        b = generate_trace(50, 11.1, 1920, 2160, seed=4)
+        assert all(
+            sa.pose == sb.pose and sa.gaze == sb.gaze
+            for sa, sb in zip(a.samples, b.samples)
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(50, 11.1, 1920, 2160, seed=1)
+        b = generate_trace(50, 11.1, 1920, 2160, seed=2)
+        assert any(sa.pose != sb.pose for sa, sb in zip(a.samples, b.samples))
+
+    def test_length_and_times(self):
+        trace = generate_trace(30, 10.0, 1920, 2160, seed=0)
+        assert len(trace) == 30
+        assert trace[5].time_ms == pytest.approx(50.0)
+
+    def test_gaze_stays_on_panel(self):
+        trace = generate_trace(500, 11.1, 1280, 1600, seed=3)
+        for sample in trace:
+            assert 0.0 <= sample.gaze.x_px <= 1280.0
+            assert 0.0 <= sample.gaze.y_px <= 1600.0
+
+    def test_activity_in_unit_range(self):
+        trace = generate_trace(300, 11.1, 1920, 2160, seed=5)
+        for sample in trace:
+            assert 0.0 <= sample.activity <= 1.0
+        assert trace.mean_activity > 0.0
+
+    def test_motion_is_temporally_correlated(self):
+        """OU velocities: adjacent frame deltas correlate, unlike white noise."""
+        trace = generate_trace(600, 11.1, 1920, 2160, seed=6)
+        yaws = np.array([s.pose.yaw for s in trace])
+        deltas = np.diff(yaws)
+        corr = np.corrcoef(deltas[:-1], deltas[1:])[0, 1]
+        assert corr > 0.5
+
+    def test_calm_phases_reduce_motion(self):
+        calm = HeadMotionConfig(calm_scale=0.0, mean_phase_s=1000.0)
+        trace = generate_trace(100, 11.1, 1920, 2160, seed=0, head=calm)
+        # Either all-calm (zero velocity) or all-active depending on phase
+        # draw; with calm_scale=0 a calm run must be exactly still.
+        speeds = [s.activity for s in trace]
+        assert min(speeds) >= 0.0
+
+    def test_zero_frames(self):
+        assert len(generate_trace(0, 11.1, 100, 100)) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            generate_trace(-1, 11.1, 100, 100)
+        with pytest.raises(WorkloadError):
+            generate_trace(10, 0.0, 100, 100)
+        with pytest.raises(WorkloadError):
+            HeadMotionConfig(calm_scale=2.0)
+        with pytest.raises(WorkloadError):
+            GazeMotionConfig(center_bias=-0.1)
+
+
+class TestSensors:
+    def test_eye_tracker_is_120hz(self):
+        sensor = eye_tracker()
+        assert sensor.rate_hz == 120.0
+        assert sensor.period_ms == pytest.approx(1000.0 / 120.0)
+
+    def test_head_tracker_faster_than_eye(self):
+        assert head_tracker().period_ms < eye_tracker().period_ms
+
+    def test_latest_reading_respects_transport(self):
+        sensor = SampledSensor(rate_hz=100.0, transport_ms=2.0)
+        # At t=11: newest visible sample is k = floor((11-2)/10) = 0.
+        reading = sensor.latest_reading(11.0)
+        assert reading.sample_time_ms == 0.0
+        # At t=12.1: k = floor(10.1/10) = 1 -> sample at 10 ms.
+        reading = sensor.latest_reading(12.1)
+        assert reading.sample_time_ms == 10.0
+        assert reading.age_ms == pytest.approx(2.1)
+
+    def test_age_never_negative(self):
+        sensor = SampledSensor(rate_hz=90.0, transport_ms=2.0)
+        for t in (0.0, 1.0, 5.0, 100.0, 1000.5):
+            assert sensor.latest_reading(t).age_ms >= 0.0
+
+    def test_worst_case_age(self):
+        sensor = SampledSensor(rate_hz=100.0, transport_ms=2.0)
+        assert sensor.worst_case_age_ms() == pytest.approx(12.0)
+
+    def test_invalid_sensor(self):
+        with pytest.raises(ConfigurationError):
+            SampledSensor(rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            SampledSensor(rate_hz=10.0, transport_ms=-1.0)
+
+    @given(st.floats(min_value=0, max_value=1e5))
+    @settings(max_examples=40)
+    def test_reading_age_bounded(self, t):
+        sensor = SampledSensor(rate_hz=120.0, transport_ms=2.0)
+        age = sensor.latest_reading(t).age_ms
+        assert age <= sensor.worst_case_age_ms() + 1e-9

@@ -1,0 +1,117 @@
+"""Tests for the network channel and condition presets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.network.channel import NetworkChannel, snr_efficiency
+from repro.network.conditions import ALL_CONDITIONS, EARLY_5G, LTE_4G, WIFI, by_name
+
+
+class TestConditions:
+    def test_table2_throughputs(self):
+        assert WIFI.throughput_mbps == 200.0
+        assert LTE_4G.throughput_mbps == 100.0
+        assert EARLY_5G.throughput_mbps == 500.0
+
+    def test_default_snr_is_20db(self):
+        for cond in ALL_CONDITIONS:
+            assert cond.snr_db == 20.0
+
+    def test_by_name(self):
+        assert by_name("wi-fi") is WIFI
+        assert by_name("4G LTE") is LTE_4G
+        with pytest.raises(NetworkError):
+            by_name("6G")
+
+    def test_invalid_conditions(self):
+        from repro.network.conditions import NetworkConditions
+
+        with pytest.raises(NetworkError):
+            NetworkConditions("x", throughput_mbps=0, propagation_ms=1)
+        with pytest.raises(NetworkError):
+            NetworkConditions("x", throughput_mbps=10, propagation_ms=-1)
+
+
+class TestSNREfficiency:
+    def test_20db_value(self):
+        assert snr_efficiency(20.0) == pytest.approx(0.832, abs=0.01)
+
+    def test_monotone_in_snr(self):
+        values = [snr_efficiency(s) for s in (0, 10, 20, 23)]
+        assert values == sorted(values)
+
+    def test_capped_at_one(self):
+        assert snr_efficiency(100.0) == 1.0
+
+
+class TestChannel:
+    def test_nominal_rate(self):
+        channel = NetworkChannel(WIFI, seed=0)
+        assert channel.nominal_bytes_per_ms == pytest.approx(200e6 / 8 / 1000)
+
+    def test_effective_below_nominal(self):
+        channel = NetworkChannel(WIFI, seed=0)
+        assert channel.mean_effective_bytes_per_ms < channel.nominal_bytes_per_ms
+
+    def test_expected_transfer_monotone_in_payload(self):
+        channel = NetworkChannel(WIFI, seed=0)
+        assert channel.expected_transfer_time_ms(2e6) > channel.expected_transfer_time_ms(1e6)
+
+    def test_expected_transfer_faster_on_5g(self):
+        wifi = NetworkChannel(WIFI, seed=0)
+        fiveg = NetworkChannel(EARLY_5G, seed=0)
+        assert fiveg.expected_transfer_time_ms(1e6) < wifi.expected_transfer_time_ms(1e6)
+
+    def test_transfer_records_history(self):
+        channel = NetworkChannel(WIFI, seed=0)
+        channel.transfer_time_ms(1e5)
+        channel.transfer_time_ms(2e5)
+        assert len(channel.history) == 2
+        assert channel.history[1].payload_bytes == 2e5
+
+    def test_zero_payload_free(self):
+        channel = NetworkChannel(WIFI, seed=0)
+        assert channel.transfer_time_ms(0.0) == 0.0
+        assert len(channel.history) == 0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(NetworkError):
+            NetworkChannel(WIFI).transfer_time_ms(-1)
+
+    def test_deterministic_for_seed(self):
+        a = NetworkChannel(WIFI, seed=11)
+        b = NetworkChannel(WIFI, seed=11)
+        times_a = [a.transfer_time_ms(5e5) for _ in range(10)]
+        times_b = [b.transfer_time_ms(5e5) for _ in range(10)]
+        assert times_a == times_b
+
+    def test_different_seeds_differ(self):
+        a = NetworkChannel(WIFI, seed=1)
+        b = NetworkChannel(WIFI, seed=2)
+        assert [a.transfer_time_ms(5e5) for _ in range(5)] != [
+            b.transfer_time_ms(5e5) for _ in range(5)
+        ]
+
+    def test_ack_estimate_tracks_throughput(self):
+        channel = NetworkChannel(WIFI, seed=3)
+        prior = channel.ack_throughput_bytes_per_ms
+        for _ in range(50):
+            channel.transfer_time_ms(5e5)
+        posterior = channel.ack_throughput_bytes_per_ms
+        # The EWMA should settle near the effective throughput.
+        assert posterior == pytest.approx(channel.mean_effective_bytes_per_ms, rel=0.25)
+        assert posterior != prior
+
+    def test_round_trip_is_twice_one_way(self):
+        channel = NetworkChannel(LTE_4G)
+        assert channel.round_trip_ms == pytest.approx(2 * channel.one_way_ms)
+
+    @given(st.floats(min_value=1e3, max_value=1e7))
+    @settings(max_examples=30)
+    def test_transfer_time_positive_and_bounded(self, payload):
+        channel = NetworkChannel(WIFI, seed=5)
+        duration = channel.transfer_time_ms(payload)
+        # Even with worst-case jitter the transfer is bounded by 4x nominal.
+        floor = payload / channel.nominal_bytes_per_ms
+        assert floor * 0.5 < duration < floor * 5 + 1.0

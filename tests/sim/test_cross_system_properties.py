@@ -1,0 +1,89 @@
+"""Cross-system invariants checked over every design and several titles.
+
+These are the repository's structural guarantees: every simulation result
+must satisfy them regardless of design, app, platform or seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.network.conditions import ALL_CONDITIONS
+from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system
+from repro.workloads.apps import get_app
+
+FAST_APPS = ("Doom3-L", "GRID")
+N_FRAMES = 50
+
+
+@pytest.mark.parametrize("system_name", SYSTEM_NAMES)
+@pytest.mark.parametrize("app_name", FAST_APPS)
+class TestUniversalInvariants:
+    def test_invariants(self, system_name, app_name):
+        system = make_system(system_name, get_app(app_name), seed=1)
+        result = system.run(n_frames=N_FRAMES, warmup_frames=10)
+
+        assert len(result.records) == N_FRAMES
+        displays = [r.display_ms for r in result.records]
+        assert displays == sorted(displays)
+
+        for r in result.records:
+            # Causality: photons come after the pose that produced them.
+            assert r.display_ms > r.tracking_ms
+            # Physicality: nonnegative occupancies and payloads.
+            assert r.gpu_busy_ms >= 0
+            assert r.net_busy_ms >= 0
+            assert r.transmitted_bytes >= 0
+            assert r.local_ms >= 0
+            assert r.remote_path_ms >= 0
+            # Path latency includes the fixed sensor + display segments.
+            assert r.e2e_latency_ms >= (
+                constants.SENSOR_TRANSPORT_MS + constants.DISPLAY_SCANOUT_MS
+            )
+
+        assert result.measured_fps > 0
+        assert result.mean_latency_ms > 0
+
+
+@pytest.mark.parametrize("conditions", ALL_CONDITIONS, ids=lambda c: c.name)
+class TestNetworkSweepInvariants:
+    def test_qvr_stable_on_every_network(self, conditions):
+        system = make_system(
+            "qvr", get_app("HL2-L"), PlatformConfig(network=conditions), seed=2
+        )
+        result = system.run(n_frames=N_FRAMES, warmup_frames=10)
+        assert 5.0 <= result.mean_e1_deg <= 90.0
+        assert np.isfinite(result.mean_latency_ms)
+        assert result.measured_fps > 30.0
+
+
+class TestFrequencySweepInvariants:
+    @pytest.mark.parametrize("freq", (300.0, 400.0, 500.0))
+    def test_local_latency_monotone_in_frequency(self, freq):
+        system = make_system(
+            "local", get_app("HL2-L"), PlatformConfig().with_gpu_frequency(freq)
+        )
+        result = system.run(n_frames=30, warmup_frames=5)
+        # Stash on the class for the cross-check below.
+        TestFrequencySweepInvariants._latencies = getattr(
+            TestFrequencySweepInvariants, "_latencies", {}
+        )
+        TestFrequencySweepInvariants._latencies[freq] = result.mean_latency_ms
+
+    def test_ordering_across_frequencies(self):
+        latencies = getattr(TestFrequencySweepInvariants, "_latencies", {})
+        if len(latencies) == 3:
+            assert latencies[300.0] > latencies[400.0] > latencies[500.0]
+
+
+class TestSeedSensitivity:
+    def test_aggregate_metrics_stable_across_seeds(self):
+        """Different seeds shift frames but not the design's character."""
+        fps = []
+        for seed in (0, 1, 2):
+            result = make_system("qvr", get_app("UT3"), seed=seed).run(
+                n_frames=80, warmup_frames=20
+            )
+            fps.append(result.measured_fps)
+        spread = (max(fps) - min(fps)) / np.mean(fps)
+        assert spread < 0.25

@@ -1,0 +1,123 @@
+"""Tests for frame records and simulation summary metrics."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.sim.metrics import FrameRecord, SimulationResult
+
+
+def record(index, tracking, display, path=None, **kwargs):
+    return FrameRecord(
+        index=index,
+        tracking_ms=tracking,
+        display_ms=display,
+        path_latency_ms=path if path is not None else float("nan"),
+        **kwargs,
+    )
+
+
+class TestFrameRecord:
+    def test_pipeline_latency(self):
+        r = record(0, 10.0, 30.0)
+        assert r.pipeline_latency_ms == pytest.approx(20.0)
+
+    def test_e2e_prefers_path_latency(self):
+        r = record(0, 10.0, 30.0, path=17.0)
+        assert r.e2e_latency_ms == pytest.approx(17.0)
+
+    def test_e2e_falls_back_to_pipeline(self):
+        r = record(0, 10.0, 30.0)
+        assert r.e2e_latency_ms == pytest.approx(20.0)
+
+    def test_latency_ratio(self):
+        r = record(0, 0, 1, local_ms=4.0, remote_path_ms=8.0)
+        assert r.latency_ratio == pytest.approx(2.0)
+
+    def test_latency_ratio_zero_local(self):
+        r = record(0, 0, 1, local_ms=0.0, remote_path_ms=8.0)
+        assert math.isinf(r.latency_ratio)
+        r = record(0, 0, 1, local_ms=0.0, remote_path_ms=0.0)
+        assert r.latency_ratio == 1.0
+
+
+class TestSimulationResult:
+    def _result(self, n=10, warmup=2, period=10.0, path=20.0):
+        records = [
+            record(
+                i,
+                tracking=i * period,
+                display=i * period + 15.0,
+                path=path,
+                gpu_busy_ms=8.0,
+                net_busy_ms=4.0,
+                e1_deg=10.0 + i,
+                transmitted_bytes=1e5,
+                resolution_reduction=0.5,
+            )
+            for i in range(n)
+        ]
+        return SimulationResult("qvr", "TestApp", records, warmup_frames=warmup)
+
+    def test_mean_latency_uses_path(self):
+        result = self._result(path=21.0)
+        assert result.mean_latency_ms == pytest.approx(21.0)
+
+    def test_pipeline_latency_separate(self):
+        result = self._result()
+        assert result.mean_pipeline_latency_ms == pytest.approx(15.0)
+
+    def test_measured_fps_from_intervals(self):
+        result = self._result(period=10.0)
+        assert result.measured_fps == pytest.approx(100.0)
+
+    def test_formula_fps(self):
+        result = self._result()
+        # min(1000/8, 1000/4) = 125.
+        assert result.formula_fps == pytest.approx(125.0)
+
+    def test_warmup_excluded(self):
+        records = [record(0, 0, 1000, path=500.0)] + [
+            record(i, i * 10.0, i * 10.0 + 15, path=20.0) for i in range(1, 10)
+        ]
+        result = SimulationResult("x", "y", records, warmup_frames=1)
+        assert result.mean_latency_ms == pytest.approx(20.0)
+
+    def test_meets_targets(self):
+        good = self._result(path=20.0)
+        assert good.meets_mtp
+        assert good.meets_target_fps
+        bad = self._result(path=40.0)
+        assert not bad.meets_mtp
+
+    def test_mean_e1(self):
+        result = self._result(n=10, warmup=2)
+        # Frames 2..9 -> e1 = 12..19, mean 15.5.
+        assert result.mean_e1_deg == pytest.approx(15.5)
+
+    def test_nan_e1_for_non_foveated(self):
+        records = [record(i, i * 10.0, i * 10.0 + 15) for i in range(5)]
+        result = SimulationResult("local", "x", records, warmup_frames=0)
+        assert math.isnan(result.mean_e1_deg)
+
+    def test_percentile(self):
+        result = self._result()
+        assert result.latency_percentile_ms(50) == pytest.approx(20.0)
+
+    def test_empty_result(self):
+        result = SimulationResult("x", "y", [], warmup_frames=0)
+        assert math.isnan(result.mean_latency_ms)
+        assert math.isnan(result.measured_fps)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ConfigurationError):
+            SimulationResult("x", "y", [], warmup_frames=-1)
+
+    def test_drop_rate(self):
+        records = [
+            record(i, 0, 1, dropped=(i % 4 == 0)) for i in range(8)
+        ]
+        result = SimulationResult("x", "y", records, warmup_frames=0)
+        assert result.drop_rate == pytest.approx(0.25)

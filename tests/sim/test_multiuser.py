@@ -1,0 +1,59 @@
+"""Tests for the multi-user shared-infrastructure extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.multiuser import (
+    MultiUserScenario,
+    simulate_shared_infrastructure,
+)
+from repro.sim.systems import PlatformConfig
+
+
+def _scenario(n_clients, app="HL2-L"):
+    return MultiUserScenario(apps=(app,) * n_clients, platform=PlatformConfig())
+
+
+class TestScenario:
+    def test_client_count(self):
+        assert _scenario(3).n_clients == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiUserScenario(apps=(), platform=PlatformConfig())
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            MultiUserScenario(apps=("GRID",), platform=PlatformConfig(),
+                              sharing_efficiency=0.0)
+
+
+class TestSharedInfrastructure:
+    def test_single_client_matches_solo_platform(self):
+        solo = simulate_shared_infrastructure(_scenario(1), n_frames=50)
+        assert solo.per_client[0].meets_target_fps
+
+    def test_contention_grows_fovea(self):
+        """More co-located users -> degraded share -> bigger local fovea."""
+        one = simulate_shared_infrastructure(_scenario(1), n_frames=60)
+        four = simulate_shared_infrastructure(_scenario(4), n_frames=60)
+        assert four.mean_e1_deg > one.mean_e1_deg
+
+    def test_contention_costs_latency(self):
+        one = simulate_shared_infrastructure(_scenario(1), n_frames=60)
+        four = simulate_shared_infrastructure(_scenario(4), n_frames=60)
+        assert four.mean_latency_ms > one.mean_latency_ms * 0.95
+
+    def test_mixed_titles(self):
+        mixed = MultiUserScenario(
+            apps=("Doom3-L", "GRID"), platform=PlatformConfig()
+        )
+        result = simulate_shared_infrastructure(mixed, n_frames=50)
+        assert len(result.per_client) == 2
+        # The lighter title still keeps the larger fovea under sharing.
+        by_app = {r.app: r for r in result.per_client}
+        assert by_app["Doom3-L"].mean_e1_deg > by_app["GRID"].mean_e1_deg
+
+    def test_clients_meeting_fps_counts(self):
+        result = simulate_shared_infrastructure(_scenario(2), n_frames=50)
+        assert 0 <= result.clients_meeting_fps <= 2

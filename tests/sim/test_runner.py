@@ -1,0 +1,46 @@
+"""Tests for the high-level experiment runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.conditions import EARLY_5G
+from repro.sim.runner import RunSpec, run, run_comparison, speedup_over
+from repro.sim.systems import PlatformConfig
+from repro.workloads.apps import get_app
+
+
+class TestRunner:
+    def test_run_comparison_by_name_and_object(self):
+        by_name = run_comparison("Doom3-L", systems=("local",), n_frames=20)
+        by_obj = run_comparison(get_app("Doom3-L"), systems=("local",), n_frames=20)
+        assert by_name["local"].mean_latency_ms == by_obj["local"].mean_latency_ms
+
+    def test_platform_propagates(self):
+        fast_net = run_comparison(
+            "HL2-L", systems=("qvr",), platform=PlatformConfig(network=EARLY_5G),
+            n_frames=60,
+        )
+        default = run_comparison("HL2-L", systems=("qvr",), n_frames=60)
+        assert (
+            fast_net["qvr"].mean_transmitted_bytes
+            != default["qvr"].mean_transmitted_bytes
+        )
+
+    def test_speedup_over_requires_both(self):
+        results = run_comparison("Doom3-L", systems=("local",), n_frames=20)
+        with pytest.raises(ConfigurationError):
+            speedup_over(results, "qvr")
+
+    def test_speedup_identity(self):
+        results = run_comparison("Doom3-L", systems=("local",), n_frames=20)
+        assert speedup_over(results, "local") == pytest.approx(1.0)
+
+    def test_runspec_defaults(self):
+        spec = RunSpec(system="qvr", app="GRID")
+        assert spec.n_frames == 300
+        assert spec.warmup_frames == 30
+
+    def test_run_executes_spec(self):
+        result = run(RunSpec(system="ffr", app="HL2-L", n_frames=25, warmup_frames=5))
+        assert result.system == "ffr"
+        assert result.app == "HL2-L"

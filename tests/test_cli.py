@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.app == "Doom3-H"
+        assert args.systems == ["local", "static", "qvr"]
+
+    def test_compare_custom(self):
+        args = build_parser().parse_args(
+            ["compare", "--app", "GRID", "--systems", "local", "qvr",
+             "--network", "4G LTE", "--freq", "300"]
+        )
+        assert args.app == "GRID"
+        assert args.freq == 300.0
+
+    def test_invalid_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--systems", "warpdrive"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_overheads_command(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "LIWC" in out and "UCA" in out
+
+    def test_compare_command(self, capsys):
+        code = main(
+            ["compare", "--app", "Doom3-L", "--systems", "local", "qvr",
+             "--frames", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "qvr" in out and "latency" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Foveated3D" in capsys.readouterr().out
