@@ -1,0 +1,110 @@
+"""Batch-engine timing smoke benchmark: serial vs parallel vs warm cache.
+
+Runs one multi-point figure sweep (the Fig. 12 grid: six system designs
+across the Table 3 titles) three ways and writes a ``BENCH_batch.json``
+timing artifact:
+
+* ``serial_s`` — one spec at a time, no pool, no cache (the pre-engine
+  execution model);
+* ``parallel_cold_s`` — the batch engine at ``--jobs`` workers with a
+  cold on-disk cache;
+* ``parallel_warm_s`` — the same engine invoked again, so every spec is
+  answered by the cache.
+
+``speedup`` is ``serial_s`` over the best batched time.  On a multi-core
+machine the cold pool already wins; on a single core the win comes from
+memoization (``cpu_count`` is recorded so readers can tell which).  The
+script also verifies that serial and parallel results are bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py --jobs 4 --frames 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sim.runner import BatchEngine, Sweep, run
+from repro.workloads.apps import TABLE3_ORDER
+
+#: The Fig. 12 design spectrum — the sweep every machine can complete fast.
+SYSTEMS = ("local", "static", "ffr", "dfr", "sw-qvr", "qvr")
+
+
+def bench(jobs: int, n_frames: int, seed: int) -> dict:
+    """Time the three execution modes over one Fig. 12-style sweep."""
+    sweep = Sweep(
+        systems=SYSTEMS, apps=TABLE3_ORDER, seeds=(seed,), n_frames=n_frames
+    )
+    specs = sweep.specs()
+
+    start = time.perf_counter()
+    serial = [run(spec) for spec in specs]
+    serial_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="qvr-bench-cache-") as cache_dir:
+        engine = BatchEngine(jobs=jobs, cache_dir=cache_dir)
+        start = time.perf_counter()
+        cold = engine.run_specs(specs)
+        parallel_cold_s = time.perf_counter() - start
+
+        warm_engine = BatchEngine(jobs=jobs, cache_dir=cache_dir)
+        start = time.perf_counter()
+        warm = warm_engine.run_specs(specs)
+        parallel_warm_s = time.perf_counter() - start
+        warm_hits = warm_engine.stats.cache_hits
+
+    identical = all(
+        pickle.dumps(cold[spec]) == pickle.dumps(result)
+        and pickle.dumps(warm[spec]) == pickle.dumps(result)
+        for spec, result in zip(specs, serial)
+    )
+    best_batched_s = min(parallel_cold_s, parallel_warm_s)
+    return {
+        "sweep": {
+            "systems": list(SYSTEMS),
+            "apps": list(TABLE3_ORDER),
+            "n_specs": len(specs),
+            "n_frames": n_frames,
+            "seed": seed,
+        },
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_cold_s, 3),
+        "parallel_warm_s": round(parallel_warm_s, 3),
+        "speedup_cold": round(serial_s / parallel_cold_s, 2),
+        "speedup_warm": round(serial_s / parallel_warm_s, 2),
+        "speedup": round(serial_s / best_batched_s, 2),
+        "warm_cache_hits": warm_hits,
+        "bit_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_batch.json")
+    args = parser.parse_args(argv)
+
+    report = bench(jobs=args.jobs, n_frames=args.frames, seed=args.seed)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["bit_identical"]:
+        print("ERROR: serial and batched results diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

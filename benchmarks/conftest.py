@@ -3,9 +3,34 @@
 Each benchmark regenerates one paper table/figure.  The experiments are
 deterministic simulations, so a single measured round per benchmark is
 both sufficient and what keeps the full suite's runtime reasonable.
+
+All simulation-backed benchmarks share one session-scoped
+:class:`~repro.sim.runner.BatchEngine` with an on-disk cache, so runs
+that recur across figures (Table 4 and Fig. 15 share their Q-VR grid;
+the ablation reuses Fig. 15's local baselines) execute exactly once per
+session.  ``QVR_BENCH_JOBS`` sets the engine's process-pool width
+(default 1, keeping single-figure timings comparable across machines);
+``QVR_BENCH_CACHE`` pins the cache directory so the warm cache can
+persist across pytest sessions.
 """
 
+import os
+
 import pytest
+
+from repro.sim.runner import BatchEngine
+
+
+@pytest.fixture(scope="session")
+def batch_engine(tmp_path_factory):
+    """One warm-cache batch engine shared by every benchmark."""
+    cache_dir = os.environ.get("QVR_BENCH_CACHE") or str(
+        tmp_path_factory.mktemp("qvr-batch-cache")
+    )
+    return BatchEngine(
+        jobs=int(os.environ.get("QVR_BENCH_JOBS", "1")),
+        cache_dir=cache_dir,
+    )
 
 
 @pytest.fixture

@@ -14,11 +14,12 @@ from repro.sim.runner import run_comparison, speedup_over
 ABLATION_APPS = ("Doom3-H", "GRID", "Wolf")
 
 
-def _run_ablation(n_frames=200):
+def _run_ablation(n_frames=200, engine=None):
     rows = []
     for app in ABLATION_APPS:
         results = run_comparison(
-            app, systems=("local", "ffr", "dfr", "sw-qvr", "qvr"), n_frames=n_frames
+            app, systems=("local", "ffr", "dfr", "sw-qvr", "qvr"),
+            n_frames=n_frames, engine=engine,
         )
         rows.append(
             {
@@ -34,8 +35,8 @@ def _run_ablation(n_frames=200):
     return rows
 
 
-def test_component_ablation(paper_benchmark):
-    rows = paper_benchmark(_run_ablation)
+def test_component_ablation(paper_benchmark, batch_engine):
+    rows = paper_benchmark(_run_ablation, engine=batch_engine)
 
     print()
     print(

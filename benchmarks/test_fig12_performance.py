@@ -14,8 +14,8 @@ from repro.analysis.experiments import fig12_performance
 from repro.analysis.report import format_table
 
 
-def test_fig12(paper_benchmark):
-    rows = paper_benchmark(fig12_performance, 240)
+def test_fig12(paper_benchmark, batch_engine):
+    rows = paper_benchmark(fig12_performance, 240, engine=batch_engine)
 
     print()
     print(

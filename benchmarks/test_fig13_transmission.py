@@ -15,8 +15,8 @@ from repro.analysis.experiments import fig13_transmission
 from repro.analysis.report import format_table
 
 
-def test_fig13(paper_benchmark):
-    rows = paper_benchmark(fig13_transmission, 240)
+def test_fig13(paper_benchmark, batch_engine):
+    rows = paper_benchmark(fig13_transmission, 240, engine=batch_engine)
 
     print()
     print(

@@ -14,8 +14,8 @@ from repro.analysis.experiments import FIG14_APPS, fig14_balancing
 from repro.analysis.report import format_series, format_table
 
 
-def test_fig14(paper_benchmark):
-    series = paper_benchmark(fig14_balancing, 300)
+def test_fig14(paper_benchmark, batch_engine):
+    series = paper_benchmark(fig14_balancing, 300, engine=batch_engine)
 
     print()
     summary_rows = []

@@ -15,8 +15,8 @@ from repro.analysis.report import format_table
 from repro.workloads.apps import APPS, TABLE3_ORDER
 
 
-def test_fig15(paper_benchmark):
-    cells = paper_benchmark(fig15_energy, 200)
+def test_fig15(paper_benchmark, batch_engine):
+    cells = paper_benchmark(fig15_energy, 200, engine=batch_engine)
 
     by_config: dict[tuple[float, str], dict[str, float]] = {}
     for cell in cells:

@@ -17,8 +17,8 @@ from repro.analysis.report import format_table
 from repro.workloads.apps import APPS, TABLE3_ORDER
 
 
-def test_table4(paper_benchmark):
-    cells = paper_benchmark(table4_eccentricity, 200)
+def test_table4(paper_benchmark, batch_engine):
+    cells = paper_benchmark(table4_eccentricity, 200, engine=batch_engine)
 
     by_config: dict[tuple[float, str], dict[str, object]] = {}
     for cell in cells:

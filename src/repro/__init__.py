@@ -21,7 +21,15 @@ from repro.core.liwc import LIWC, LIWCConfig
 from repro.core.uca import UCAConfig, UCAUnit
 from repro.network.conditions import ALL_CONDITIONS, EARLY_5G, LTE_4G, WIFI
 from repro.sim.metrics import FrameRecord, SimulationResult
-from repro.sim.runner import RunSpec, run, run_comparison, speedup_over
+from repro.sim.runner import (
+    BatchEngine,
+    RunSpec,
+    Sweep,
+    run,
+    run_batch,
+    run_comparison,
+    speedup_over,
+)
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system
 from repro.workloads.apps import APPS, TABLE3_ORDER, get_app
 
@@ -43,7 +51,10 @@ __all__ = [
     "SimulationResult",
     "FrameRecord",
     "RunSpec",
+    "Sweep",
+    "BatchEngine",
     "run",
+    "run_batch",
     "run_comparison",
     "speedup_over",
     "PlatformConfig",

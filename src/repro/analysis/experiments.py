@@ -4,11 +4,20 @@ Every function is deterministic for a given seed and returns structured
 rows; the benchmark harness wraps these and prints them via
 :mod:`repro.analysis.report`.  Frame counts default to the paper's 300
 (Fig. 14) but are parameters so tests can run shorter.
+
+Simulation-backed experiments (Fig. 12/13/14, Table 4, Fig. 15) declare
+their parameter grids as :class:`~repro.sim.runner.Sweep` values and
+consume batch results from a :class:`~repro.sim.runner.BatchEngine`, so
+one engine (with its process pool and on-disk cache) can serve every
+figure; the remaining experiments are closed-form analytic models with
+no simulation runs.  :data:`SIM_EXPERIMENTS` registers the sweep-backed
+functions for the ``repro batch`` CLI and the benchmark harness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -21,9 +30,14 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.perf_model import GPUPerfModel, RenderWorkload
 from repro.network.channel import NetworkChannel
 from repro.network.conditions import ALL_CONDITIONS, NetworkConditions, WIFI
-from repro.sim.runner import run_comparison, speedup_over
-from repro.sim.systems import PlatformConfig, make_system
-from repro.workloads.apps import APPS, TABLE3_ORDER, get_app
+from repro.sim.runner import (
+    BatchEngine,
+    Sweep,
+    default_engine,
+    speedup_over,
+)
+from repro.sim.systems import PlatformConfig
+from repro.workloads.apps import TABLE3_ORDER
 from repro.workloads.scene_model import InteractionModel
 from repro.workloads.tethered import TABLE1_ORDER, TETHERED_APPS, TetheredApp
 
@@ -47,6 +61,7 @@ __all__ = [
     "fig15_energy",
     "overhead_analysis",
     "GPU_FREQUENCIES_MHZ",
+    "SIM_EXPERIMENTS",
 ]
 
 #: GPU frequency sweep of the sensitivity study (Table 4 / Fig. 15).
@@ -298,20 +313,32 @@ class Fig12Row:
     static_fps: float
 
 
+#: The design spectrum compared in Fig. 12.
+_FIG12_SYSTEMS: tuple[str, ...] = ("local", "static", "ffr", "dfr", "sw-qvr", "qvr")
+
+
 def fig12_performance(
-    n_frames: int = 300, seed: int = 0, platform: PlatformConfig | None = None
+    n_frames: int = 300,
+    seed: int = 0,
+    platform: PlatformConfig | None = None,
+    engine: BatchEngine | None = None,
 ) -> list[Fig12Row]:
     """Reproduce Fig. 12 under the default hardware and network."""
     platform = platform if platform is not None else PlatformConfig()
+    sweep = Sweep(
+        systems=_FIG12_SYSTEMS,
+        apps=TABLE3_ORDER,
+        platforms=(platform,),
+        seeds=(seed,),
+        n_frames=n_frames,
+    )
+    batch = (engine if engine is not None else default_engine()).run_sweep(sweep)
     rows: list[Fig12Row] = []
     for app in TABLE3_ORDER:
-        results = run_comparison(
-            app,
-            systems=("local", "static", "ffr", "dfr", "sw-qvr", "qvr"),
-            platform=platform,
-            n_frames=n_frames,
-            seed=seed,
-        )
+        results = {
+            system: batch[sweep.spec(system, app, platform, seed)]
+            for system in _FIG12_SYSTEMS
+        }
         rows.append(
             Fig12Row(
                 app=app,
@@ -343,20 +370,32 @@ class Fig13Row:
     resolution_reduction: float
 
 
+#: The designs whose downlink traffic Fig. 13 compares.
+_FIG13_SYSTEMS: tuple[str, ...] = ("remote", "static", "ffr", "qvr")
+
+
 def fig13_transmission(
-    n_frames: int = 300, seed: int = 0, platform: PlatformConfig | None = None
+    n_frames: int = 300,
+    seed: int = 0,
+    platform: PlatformConfig | None = None,
+    engine: BatchEngine | None = None,
 ) -> list[Fig13Row]:
     """Reproduce Fig. 13 under the default hardware and network."""
     platform = platform if platform is not None else PlatformConfig()
+    sweep = Sweep(
+        systems=_FIG13_SYSTEMS,
+        apps=TABLE3_ORDER,
+        platforms=(platform,),
+        seeds=(seed,),
+        n_frames=n_frames,
+    )
+    batch = (engine if engine is not None else default_engine()).run_sweep(sweep)
     rows: list[Fig13Row] = []
     for app in TABLE3_ORDER:
-        results = run_comparison(
-            app,
-            systems=("remote", "static", "ffr", "qvr"),
-            platform=platform,
-            n_frames=n_frames,
-            seed=seed,
-        )
+        results = {
+            system: batch[sweep.spec(system, app, platform, seed)]
+            for system in _FIG13_SYSTEMS
+        }
         reference = results["remote"].mean_transmitted_bytes
         rows.append(
             Fig13Row(
@@ -390,14 +429,25 @@ FIG14_APPS: tuple[str, ...] = ("Doom3-H", "HL2-H", "GRID", "UT3", "Wolf")
 
 
 def fig14_balancing(
-    n_frames: int = 300, seed: int = 0, platform: PlatformConfig | None = None
+    n_frames: int = 300,
+    seed: int = 0,
+    platform: PlatformConfig | None = None,
+    engine: BatchEngine | None = None,
 ) -> list[Fig14Series]:
     """Reproduce Fig. 14: Q-VR initialised at e1 = 5 degrees."""
     platform = platform if platform is not None else PlatformConfig()
+    sweep = Sweep(
+        systems=("qvr",),
+        apps=FIG14_APPS,
+        platforms=(platform,),
+        seeds=(seed,),
+        n_frames=n_frames,
+        warmup_frames=0,
+    )
+    batch = (engine if engine is not None else default_engine()).run_sweep(sweep)
     series: list[Fig14Series] = []
     for app in FIG14_APPS:
-        system = make_system("qvr", get_app(app), platform, seed=seed)
-        result = system.run(n_frames=n_frames, warmup_frames=0)
+        result = batch[sweep.spec("qvr", app, platform, seed)]
         fps = [
             min(
                 1000.0 / r.gpu_busy_ms if r.gpu_busy_ms > 0 else float("inf"),
@@ -432,30 +482,48 @@ class Table4Cell:
     meets_fps: bool
 
 
+def _condition_platforms(
+    frequencies: tuple[float, ...], networks: tuple[NetworkConditions, ...]
+) -> list[tuple[float, NetworkConditions, PlatformConfig]]:
+    """The (frequency, network, platform) grid behind Table 4 / Fig. 15."""
+    return [
+        (freq, network, PlatformConfig(network=network).with_gpu_frequency(freq))
+        for freq in frequencies
+        for network in networks
+    ]
+
+
 def table4_eccentricity(
     n_frames: int = 240,
     seed: int = 0,
     frequencies: tuple[float, ...] = GPU_FREQUENCIES_MHZ,
     networks: tuple[NetworkConditions, ...] = ALL_CONDITIONS,
     apps: tuple[str, ...] = TABLE3_ORDER,
+    engine: BatchEngine | None = None,
 ) -> list[Table4Cell]:
     """Reproduce Table 4 (and provide the runs behind Fig. 15)."""
+    grid = _condition_platforms(frequencies, networks)
+    sweep = Sweep(
+        systems=("qvr",),
+        apps=apps,
+        platforms=tuple(platform for _, _, platform in grid),
+        seeds=(seed,),
+        n_frames=n_frames,
+    )
+    batch = (engine if engine is not None else default_engine()).run_sweep(sweep)
     cells: list[Table4Cell] = []
-    for freq in frequencies:
-        for network in networks:
-            platform = PlatformConfig(network=network).with_gpu_frequency(freq)
-            for app in apps:
-                system = make_system("qvr", get_app(app), platform, seed=seed)
-                result = system.run(n_frames=n_frames)
-                cells.append(
-                    Table4Cell(
-                        frequency_mhz=freq,
-                        network=network.name,
-                        app=app,
-                        mean_e1_deg=result.mean_e1_deg,
-                        meets_fps=result.meets_target_fps,
-                    )
+    for freq, network, platform in grid:
+        for app in apps:
+            result = batch[sweep.spec("qvr", app, platform, seed)]
+            cells.append(
+                Table4Cell(
+                    frequency_mhz=freq,
+                    network=network.name,
+                    app=app,
+                    mean_e1_deg=result.mean_e1_deg,
+                    meets_fps=result.meets_target_fps,
                 )
+            )
     return cells
 
 
@@ -480,39 +548,56 @@ def fig15_energy(
     frequencies: tuple[float, ...] = GPU_FREQUENCIES_MHZ,
     networks: tuple[NetworkConditions, ...] = ALL_CONDITIONS,
     apps: tuple[str, ...] = TABLE3_ORDER,
+    engine: BatchEngine | None = None,
 ) -> list[Fig15Cell]:
-    """Reproduce Fig. 15: Q-VR energy normalised to local rendering."""
+    """Reproduce Fig. 15: Q-VR energy normalised to local rendering.
+
+    Two sweeps share one batch: local-rendering baselines per GPU
+    frequency, and the Q-VR cells across every (frequency, network)
+    condition — the latter are spec-identical to Table 4's runs, so a
+    caching engine computes them only once across both experiments.
+    """
     accountant = EnergyAccountant()
+    baseline_sweep = Sweep(
+        systems=("local",),
+        apps=apps,
+        platforms=tuple(
+            PlatformConfig().with_gpu_frequency(freq) for freq in frequencies
+        ),
+        seeds=(seed,),
+        n_frames=n_frames,
+    )
+    grid = _condition_platforms(frequencies, networks)
+    qvr_sweep = Sweep(
+        systems=("qvr",),
+        apps=apps,
+        platforms=tuple(platform for _, _, platform in grid),
+        seeds=(seed,),
+        n_frames=n_frames,
+    )
+    chosen = engine if engine is not None else default_engine()
+    batch = chosen.run_specs(baseline_sweep.specs() + qvr_sweep.specs())
     cells: list[Fig15Cell] = []
-    for freq in frequencies:
+    for freq, network, platform in grid:
         base_platform = PlatformConfig().with_gpu_frequency(freq)
-        baselines = {
-            app: make_system("local", get_app(app), base_platform, seed=seed).run(
-                n_frames=n_frames
+        for app in apps:
+            result = batch[qvr_sweep.spec("qvr", app, platform, seed)]
+            baseline = batch[baseline_sweep.spec("local", app, base_platform, seed)]
+            cells.append(
+                Fig15Cell(
+                    frequency_mhz=freq,
+                    network=network.name,
+                    app=app,
+                    normalized_energy=accountant.normalized_energy(
+                        result,
+                        baseline,
+                        gpu_frequency_mhz=freq,
+                        network_name=network.name,
+                        has_liwc=True,
+                        has_uca=True,
+                    ),
+                )
             )
-            for app in apps
-        }
-        for network in networks:
-            platform = PlatformConfig(network=network).with_gpu_frequency(freq)
-            for app in apps:
-                result = make_system("qvr", get_app(app), platform, seed=seed).run(
-                    n_frames=n_frames
-                )
-                cells.append(
-                    Fig15Cell(
-                        frequency_mhz=freq,
-                        network=network.name,
-                        app=app,
-                        normalized_energy=accountant.normalized_energy(
-                            result,
-                            baselines[app],
-                            gpu_frequency_mhz=freq,
-                            network_name=network.name,
-                            has_liwc=True,
-                            has_uca=True,
-                        ),
-                    )
-                )
     return cells
 
 
@@ -524,3 +609,20 @@ def fig15_energy(
 def overhead_analysis() -> dict[str, OverheadReport]:
     """Reproduce the Sec. 4.3 McPAT overhead numbers."""
     return {"LIWC": estimate_liwc(), "UCA": estimate_uca()}
+
+
+# ---------------------------------------------------------------------------
+# Registry of simulation-backed experiments (the batch-engine consumers)
+# ---------------------------------------------------------------------------
+
+#: Figure/table functions that execute ``RunSpec`` sweeps.  Each entry is
+#: callable as ``func(n_frames=..., seed=..., engine=...)``; the remaining
+#: experiments (Fig. 3/5/6, Table 1, overheads) are analytic and run no
+#: simulations.
+SIM_EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "fig12": fig12_performance,
+    "fig13": fig13_transmission,
+    "fig14": fig14_balancing,
+    "table4": table4_eccentricity,
+    "fig15": fig15_energy,
+}

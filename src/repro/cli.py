@@ -4,17 +4,25 @@ Usage (also via ``python -m repro``)::
 
     python -m repro compare --app GRID --systems local qvr
     python -m repro table4 --frames 120
-    python -m repro fig12 --frames 200
+    python -m repro fig12 --frames 200 --jobs 4 --cache-dir .qvr-cache
+    python -m repro batch --jobs 4 --cache-dir .qvr-cache
     python -m repro overheads
 
 Each subcommand prints the same ASCII tables the benchmark suite produces.
+``batch`` runs several figure sweeps through one shared
+:class:`~repro.sim.runner.BatchEngine`, so overlapping runs (Table 4 and
+Fig. 15 share their Q-VR grid) execute once; ``--jobs`` spreads uncached
+specs over a process pool and ``--cache-dir`` memoizes results on disk
+across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 
 from repro.analysis.experiments import (
+    SIM_EXPERIMENTS,
     fig12_performance,
     fig15_energy,
     overhead_analysis,
@@ -23,11 +31,22 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import format_table
 from repro.network.conditions import by_name
-from repro.sim.runner import run_comparison, speedup_over
+from repro.sim.runner import BatchEngine, run_comparison, speedup_over
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES
 from repro.workloads.apps import APPS, TABLE3_ORDER
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for uncached runs (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the on-disk result cache (default: no cache)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,16 +70,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig12 = sub.add_parser("fig12", help="reproduce Fig. 12")
     fig12.add_argument("--frames", type=int, default=240)
+    _add_engine_options(fig12)
 
     table4 = sub.add_parser("table4", help="reproduce Table 4")
     table4.add_argument("--frames", type=int, default=200)
+    _add_engine_options(table4)
 
     fig15 = sub.add_parser("fig15", help="reproduce Fig. 15")
     fig15.add_argument("--frames", type=int, default=200)
+    _add_engine_options(fig15)
+
+    batch = sub.add_parser(
+        "batch", help="run figure sweeps through one shared batch engine"
+    )
+    batch.add_argument(
+        "--experiments", nargs="+", default=sorted(SIM_EXPERIMENTS),
+        choices=sorted(SIM_EXPERIMENTS),
+        help="simulation-backed experiments to run (default: all)",
+    )
+    batch.add_argument("--frames", type=int, default=240)
+    batch.add_argument("--seed", type=int, default=0)
+    _add_engine_options(batch)
 
     sub.add_parser("table1", help="reproduce Table 1")
     sub.add_parser("overheads", help="reproduce the Sec. 4.3 overheads")
     return parser
+
+
+def _engine_from(args: argparse.Namespace) -> BatchEngine:
+    return BatchEngine(jobs=args.jobs, cache_dir=args.cache_dir)
 
 
 def _cmd_compare(args: argparse.Namespace) -> None:
@@ -87,7 +125,7 @@ def _cmd_compare(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig12(args: argparse.Namespace) -> None:
-    rows = fig12_performance(n_frames=args.frames)
+    rows = fig12_performance(n_frames=args.frames, engine=_engine_from(args))
     print(
         format_table(
             ["app", "Static", "FFR", "DFR", "Q-VR", "SW-FPS", "Q-VR-FPS"],
@@ -102,7 +140,7 @@ def _cmd_fig12(args: argparse.Namespace) -> None:
 
 
 def _cmd_table4(args: argparse.Namespace) -> None:
-    cells = table4_eccentricity(n_frames=args.frames)
+    cells = table4_eccentricity(n_frames=args.frames, engine=_engine_from(args))
     grid: dict[tuple[float, str], dict[str, str]] = {}
     for cell in cells:
         marker = "" if cell.meets_fps else "*"
@@ -122,7 +160,7 @@ def _cmd_table4(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig15(args: argparse.Namespace) -> None:
-    cells = fig15_energy(n_frames=args.frames)
+    cells = fig15_energy(n_frames=args.frames, engine=_engine_from(args))
     grid: dict[tuple[float, str], dict[str, float]] = {}
     for cell in cells:
         grid.setdefault((cell.frequency_mhz, cell.network), {})[cell.app] = (
@@ -137,6 +175,35 @@ def _cmd_fig15(args: argparse.Namespace) -> None:
             ],
             title="Fig. 15 — normalized system energy",
         )
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> None:
+    engine = _engine_from(args)
+    rows = []
+    total_start = time.perf_counter()
+    for name in args.experiments:
+        start = time.perf_counter()
+        result = SIM_EXPERIMENTS[name](
+            n_frames=args.frames, seed=args.seed, engine=engine
+        )
+        rows.append([name, len(result), f"{time.perf_counter() - start:.2f}"])
+    total_s = time.perf_counter() - total_start
+    print(
+        format_table(
+            ["experiment", "rows", "wall (s)"],
+            rows,
+            title=(
+                f"repro batch — {len(args.experiments)} experiments, "
+                f"jobs={args.jobs}, frames={args.frames}"
+            ),
+        )
+    )
+    stats = engine.stats
+    print(
+        f"specs: {stats.requested} requested, {stats.unique} unique, "
+        f"{stats.executed} executed, {stats.cache_hits} cache hits, "
+        f"{stats.deduplicated} deduplicated in-batch; total {total_s:.2f}s"
     )
 
 
@@ -171,6 +238,7 @@ _COMMANDS = {
     "fig12": _cmd_fig12,
     "table4": _cmd_table4,
     "fig15": _cmd_fig15,
+    "batch": _cmd_batch,
     "table1": _cmd_table1,
     "overheads": _cmd_overheads,
 }

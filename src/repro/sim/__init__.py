@@ -1,7 +1,18 @@
-"""Pipeline simulation: DES scheduler, system designs, metrics, runner."""
+"""Pipeline simulation: DES scheduler, system designs, metrics, batch runner."""
 
 from repro.sim.metrics import FrameRecord, SimulationResult, paper_fps
-from repro.sim.runner import RunSpec, run, run_comparison, speedup_over
+from repro.sim.runner import (
+    BatchEngine,
+    BatchStats,
+    ResultCache,
+    RunSpec,
+    Sweep,
+    run,
+    run_batch,
+    run_comparison,
+    spec_key,
+    speedup_over,
+)
 from repro.sim.scheduler import Task, TaskGraphScheduler
 from repro.sim.systems import (
     CollaborativeFoveatedSystem,
@@ -19,8 +30,14 @@ __all__ = [
     "SimulationResult",
     "paper_fps",
     "RunSpec",
+    "Sweep",
+    "BatchEngine",
+    "BatchStats",
+    "ResultCache",
     "run",
+    "run_batch",
     "run_comparison",
+    "spec_key",
     "speedup_over",
     "Task",
     "TaskGraphScheduler",

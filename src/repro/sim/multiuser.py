@@ -1,10 +1,14 @@
-"""Multi-user collaborative VR extension (the paper's future direction).
+"""Multi-user collaborative VR scenarios on the batch execution layer.
 
 The paper's framing is *planet-scale* mobile VR ("users around the world,
 regardless of their hardware and network conditions") and it compares
-against multi-user systems (Firefly, Coterie).  This module extends the
-reproduction with the natural next step: **several Q-VR clients sharing
-one rendering server and one access link**.
+against multi-user systems (Firefly, Coterie).  This module describes the
+natural next step — **several Q-VR clients sharing one rendering server
+and one access link** — as plain :class:`~repro.sim.runner.RunSpec`
+batches: a scenario expands to one spec per client (carrying the
+``shared_clients`` degradation and a distinct per-client seed) and runs
+through the same :class:`~repro.sim.runner.BatchEngine` as every other
+experiment, so multi-user evaluation parallelises and memoizes for free.
 
 Model: each client runs the full Q-VR control loop independently; the
 shared infrastructure scales each client's effective resources —
@@ -22,15 +26,20 @@ the behaviour a planet-scale deployment would exhibit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.network.conditions import NetworkConditions
 from repro.sim.metrics import SimulationResult
-from repro.sim.systems import PlatformConfig, make_system
-from repro.workloads.apps import VRApp, get_app
+from repro.sim.runner import (
+    BatchEngine,
+    CLIENT_SEED_STRIDE,
+    RunSpec,
+    default_engine,
+    effective_warmup,
+)
+from repro.sim.systems import PlatformConfig
 
 __all__ = ["MultiUserScenario", "MultiUserResult", "simulate_shared_infrastructure"]
 
@@ -58,15 +67,65 @@ class MultiUserScenario:
     sharing_efficiency: float = 0.9
 
     def __post_init__(self) -> None:
-        if not self.apps:
-            raise ConfigurationError("scenario needs at least one client")
+        if len(self.apps) < 1:
+            raise ConfigurationError(
+                "scenario needs n_users >= 1 (one app per client)"
+            )
         if not 0 < self.sharing_efficiency <= 1:
             raise ConfigurationError("sharing_efficiency must be in (0, 1]")
+
+    @classmethod
+    def uniform(
+        cls,
+        app: str,
+        n_users: int,
+        platform: PlatformConfig | None = None,
+        sharing_efficiency: float = 0.9,
+    ) -> "MultiUserScenario":
+        """A scenario of ``n_users`` clients all running the same title."""
+        if n_users < 1:
+            raise ConfigurationError(f"n_users must be >= 1, got {n_users}")
+        return cls(
+            apps=(app,) * n_users,
+            platform=platform if platform is not None else PlatformConfig(),
+            sharing_efficiency=sharing_efficiency,
+        )
 
     @property
     def n_clients(self) -> int:
         """Number of co-located clients."""
         return len(self.apps)
+
+    def to_specs(
+        self,
+        system: str = "qvr",
+        n_frames: int = 200,
+        seed: int = 0,
+        warmup_frames: int | None = None,
+    ) -> tuple[RunSpec, ...]:
+        """One frozen spec per client, ready for any batch engine.
+
+        Clients receive distinct seeds (stride
+        :data:`~repro.sim.runner.CLIENT_SEED_STRIDE`) so their motion and
+        scene dynamics are independent; each spec carries the scenario's
+        sharing parameters so the engine derives the degraded platform.
+        """
+        warmup = (
+            effective_warmup(n_frames) if warmup_frames is None else warmup_frames
+        )
+        return tuple(
+            RunSpec(
+                system=system,
+                app=app_name,
+                platform=self.platform,
+                n_frames=n_frames,
+                seed=seed + CLIENT_SEED_STRIDE * client_index,
+                warmup_frames=warmup,
+                shared_clients=self.n_clients,
+                sharing_efficiency=self.sharing_efficiency,
+            )
+            for client_index, app_name in enumerate(self.apps)
+        )
 
 
 @dataclass(frozen=True)
@@ -96,43 +155,21 @@ class MultiUserResult:
         return sum(1 for r in self.per_client if r.meets_target_fps)
 
 
-def _shared_platform(scenario: MultiUserScenario) -> PlatformConfig:
-    """Derive each client's effective platform under sharing."""
-    n = scenario.n_clients
-    if n == 1:
-        return scenario.platform
-    share = 1.0 / (n * scenario.sharing_efficiency)
-    base = scenario.platform
-    shared_network = NetworkConditions(
-        name=base.network.name,
-        throughput_mbps=base.network.throughput_mbps * share,
-        propagation_ms=base.network.propagation_ms,
-        snr_db=base.network.snr_db,
-        jitter_fraction=min(base.network.jitter_fraction * (1 + 0.1 * (n - 1)), 0.5),
-    )
-    shared_server = replace(
-        base.server,
-        per_gpu_speedup=base.server.per_gpu_speedup * share,
-    )
-    return replace(base, network=shared_network, server=shared_server)
-
-
 def simulate_shared_infrastructure(
     scenario: MultiUserScenario,
     n_frames: int = 200,
     seed: int = 0,
     system: str = "qvr",
+    engine: BatchEngine | None = None,
 ) -> MultiUserResult:
     """Simulate every client of a shared-infrastructure scenario.
 
-    Each client runs the full per-frame control loop against its share of
-    the server and link; clients receive distinct seeds so their motion
-    and scene dynamics are independent.
+    The scenario expands to per-client :class:`RunSpec` values and runs
+    through the batch engine (the caller's, or the default serial one),
+    so a parallel or caching engine accelerates multi-user studies the
+    same way it accelerates figure sweeps.
     """
-    platform = _shared_platform(scenario)
-    results = []
-    for client_index, app_name in enumerate(scenario.apps):
-        app: VRApp = get_app(app_name)
-        client = make_system(system, app, platform, seed=seed + 97 * client_index)
-        results.append(client.run(n_frames=n_frames))
-    return MultiUserResult(per_client=tuple(results))
+    specs = scenario.to_specs(system=system, n_frames=n_frames, seed=seed)
+    chosen = engine if engine is not None else default_engine()
+    batch = chosen.run_specs(specs)
+    return MultiUserResult(per_client=tuple(batch[spec] for spec in specs))

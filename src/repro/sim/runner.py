@@ -1,35 +1,105 @@
-"""High-level experiment runner: one call from (system, app, platform) to results.
+"""Batched experiment execution: one layer from ``RunSpec`` to results.
 
-Wraps system construction and execution, and provides the comparative runs
-(all systems on one app, one system across a condition sweep) that the
-benchmark harness and examples are written against.
+This module is the single execution surface above
+:class:`~repro.sim.systems.VRSystem`.  Everything the reproduction runs —
+single comparisons, full figure sweeps, multi-user shared-infrastructure
+scenarios — is expressed as frozen :class:`RunSpec` values and executed
+through one engine:
+
+* :class:`RunSpec` fully describes a simulation run, including the
+  shared-infrastructure degradation of a multi-user deployment
+  (``shared_clients`` / ``sharing_efficiency``), so a multi-user client
+  is just a spec variant rather than a parallel API;
+* :class:`Sweep` declaratively expands a parameter grid
+  (system x app x platform x seed) into frozen specs;
+* :class:`BatchEngine` executes spec batches over an optional
+  ``concurrent.futures`` process pool and memoizes results in an on-disk
+  cache keyed by a stable content hash of the spec (:func:`spec_key`).
+
+Execution is deterministic per spec: every run derives all randomness
+from ``spec.seed``, so the same spec produces bit-identical results at
+any job count and across cache round-trips.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import concurrent.futures
+import dataclasses
+import hashlib
+import itertools
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.network.conditions import NetworkConditions
 from repro.sim.metrics import SimulationResult
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system
 from repro.workloads.apps import VRApp, get_app
 
-__all__ = ["RunSpec", "run", "run_comparison", "speedup_over"]
+__all__ = [
+    "RunSpec",
+    "Sweep",
+    "BatchStats",
+    "BatchEngine",
+    "ResultCache",
+    "run",
+    "run_batch",
+    "run_comparison",
+    "spec_key",
+    "speedup_over",
+    "effective_warmup",
+    "DEFAULT_FRAMES",
+    "DEFAULT_WARMUP",
+]
 
 #: Default frame count for evaluation runs (matches Fig. 14's 300 frames).
 DEFAULT_FRAMES = 300
 
+#: Default steady-state warm-up prefix excluded from summary metrics.
+DEFAULT_WARMUP = 30
+
+#: Seed stride between co-located clients of one shared scenario.
+CLIENT_SEED_STRIDE = 97
+
+#: Bump when spec semantics change so stale cache entries never resurface.
+_SPEC_SCHEMA_VERSION = 1
+
+
+def effective_warmup(n_frames: int, warmup_frames: int = DEFAULT_WARMUP) -> int:
+    """Largest valid warm-up prefix for a run of ``n_frames``.
+
+    ``RunSpec`` rejects warm-ups that would swallow the whole run; sweeps
+    over small frame counts use this to fall back to "no warm-up", which
+    yields the same metrics (the summary statistics treat a run shorter
+    than its warm-up as entirely steady-state).
+    """
+    return warmup_frames if warmup_frames < n_frames else 0
+
 
 @dataclass(frozen=True)
 class RunSpec:
-    """A fully specified simulation run."""
+    """A fully specified simulation run.
+
+    ``shared_clients`` > 1 models a shared-infrastructure deployment: the
+    platform's server throughput and downlink divide across that many
+    co-located clients (with ``sharing_efficiency`` of ideal 1/N scaling)
+    before the run executes, so multi-user scenarios flow through the
+    same batch engine as every other experiment.
+    """
 
     system: str
     app: str
     platform: PlatformConfig = field(default_factory=PlatformConfig)
     n_frames: int = DEFAULT_FRAMES
     seed: int = 0
-    warmup_frames: int = 30
+    warmup_frames: int = DEFAULT_WARMUP
+    shared_clients: int = 1
+    sharing_efficiency: float = 0.9
 
     def __post_init__(self) -> None:
         if self.system.lower() not in SYSTEM_NAMES:
@@ -38,13 +108,356 @@ class RunSpec:
             )
         if self.n_frames < 1:
             raise ConfigurationError("n_frames must be >= 1")
+        if self.warmup_frames < 0:
+            raise ConfigurationError("warmup_frames must be >= 0")
+        if self.warmup_frames >= self.n_frames:
+            raise ConfigurationError(
+                f"warmup_frames ({self.warmup_frames}) must be < n_frames "
+                f"({self.n_frames}); the warm-up prefix would discard every frame"
+            )
+        if self.shared_clients < 1:
+            raise ConfigurationError("shared_clients must be >= 1")
+        if not 0 < self.sharing_efficiency <= 1:
+            raise ConfigurationError("sharing_efficiency must be in (0, 1]")
+
+    def effective_platform(self) -> PlatformConfig:
+        """The platform this client actually observes.
+
+        With one client this is the configured platform unchanged; with N
+        co-located clients the server's rendering throughput and the
+        downlink divide across clients (statistical-multiplexing losses
+        modelled by ``sharing_efficiency``) and jitter grows with the
+        number of interleaved transfers.
+        """
+        n = self.shared_clients
+        if n == 1:
+            return self.platform
+        share = 1.0 / (n * self.sharing_efficiency)
+        base = self.platform
+        shared_network = NetworkConditions(
+            name=base.network.name,
+            throughput_mbps=base.network.throughput_mbps * share,
+            propagation_ms=base.network.propagation_ms,
+            snr_db=base.network.snr_db,
+            jitter_fraction=min(
+                base.network.jitter_fraction * (1 + 0.1 * (n - 1)), 0.5
+            ),
+        )
+        shared_server = replace(
+            base.server,
+            per_gpu_speedup=base.server.per_gpu_speedup * share,
+        )
+        return replace(base, network=shared_network, server=shared_server)
 
 
 def run(spec: RunSpec) -> SimulationResult:
-    """Execute one run specification."""
+    """Execute one run specification (deterministic in ``spec``)."""
     app = get_app(spec.app)
-    system = make_system(spec.system, app, spec.platform, seed=spec.seed)
+    system = make_system(
+        spec.system, app, spec.effective_platform(), seed=spec.seed
+    )
     return system.run(n_frames=spec.n_frames, warmup_frames=spec.warmup_frames)
+
+
+# ---------------------------------------------------------------------------
+# Declarative sweeps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A parameter grid that expands into frozen :class:`RunSpec` values.
+
+    The grid is the cartesian product ``platforms x systems x apps x
+    seeds`` (in that deterministic order); scalar fields are shared by
+    every expanded spec.  ``warmup_frames=None`` selects the largest
+    valid default warm-up for ``n_frames`` (see :func:`effective_warmup`).
+    """
+
+    systems: tuple[str, ...]
+    apps: tuple[str, ...]
+    platforms: tuple[PlatformConfig, ...] = (PlatformConfig(),)
+    seeds: tuple[int, ...] = (0,)
+    n_frames: int = DEFAULT_FRAMES
+    warmup_frames: int | None = None
+    shared_clients: int = 1
+    sharing_efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        for name in ("systems", "apps", "platforms", "seeds"):
+            if not getattr(self, name):
+                raise ConfigurationError(f"sweep dimension {name!r} is empty")
+
+    def __len__(self) -> int:
+        return (
+            len(self.platforms) * len(self.systems) * len(self.apps) * len(self.seeds)
+        )
+
+    def spec(
+        self, system: str, app: str, platform: PlatformConfig, seed: int = 0
+    ) -> RunSpec:
+        """The spec of one grid point (for indexing into batch results)."""
+        warmup = (
+            effective_warmup(self.n_frames)
+            if self.warmup_frames is None
+            else self.warmup_frames
+        )
+        return RunSpec(
+            system=system,
+            app=app,
+            platform=platform,
+            n_frames=self.n_frames,
+            seed=seed,
+            warmup_frames=warmup,
+            shared_clients=self.shared_clients,
+            sharing_efficiency=self.sharing_efficiency,
+        )
+
+    def specs(self) -> tuple[RunSpec, ...]:
+        """Expand the full grid, in deterministic iteration order."""
+        return tuple(
+            self.spec(system, app, platform, seed)
+            for platform, system, app, seed in itertools.product(
+                self.platforms, self.systems, self.apps, self.seeds
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stable spec hashing and the on-disk result cache
+# ---------------------------------------------------------------------------
+
+
+def _canonical(value: object) -> object:
+    """Recursively convert a spec value into a canonical JSON-able form.
+
+    Floats are rendered with ``float.hex`` so the key captures the exact
+    bit pattern; dataclasses carry their type name so two config classes
+    with coincidentally equal fields cannot collide.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: dict[str, object] = {"__type__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = _canonical(getattr(value, f.name))
+        return out
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, (tuple, list)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    raise ConfigurationError(
+        f"cannot canonicalise {type(value).__name__} inside a RunSpec"
+    )
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Stable content hash of a spec (cache key, identical across processes)."""
+    payload = json.dumps(
+        {"version": _SPEC_SCHEMA_VERSION, "spec": _canonical(spec)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk memoization of completed runs, one pickle per spec hash.
+
+    Entries are written atomically (temp file + rename) so concurrent
+    writers — parallel benchmark workers sharing one cache directory —
+    can never expose a torn file; unreadable or mismatched entries are
+    treated as misses and overwritten.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """Cache file path of a spec."""
+        return self.directory / f"{spec_key(spec)}.pkl"
+
+    def get(self, spec: RunSpec) -> SimulationResult | None:
+        """The memoized result, or None on a miss."""
+        path = self.path_for(spec)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != spec_key(spec):
+            return None
+        return payload.get("result")
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> None:
+        """Memoize one completed run."""
+        payload = {"key": spec_key(spec), "result": result}
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle)
+            os.replace(tmp_name, self.path_for(spec))
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+
+# ---------------------------------------------------------------------------
+# The batch engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchStats:
+    """Cumulative accounting of an engine's executions and cache traffic."""
+
+    requested: int = 0
+    unique: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+
+    @property
+    def deduplicated(self) -> int:
+        """Requested specs answered by another spec in the same batch."""
+        return self.requested - self.unique
+
+
+class BatchEngine:
+    """Executes batches of :class:`RunSpec` with dedup, cache and a pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for uncached specs; 1 executes in-process.
+        Results are bit-identical at any job count because each run is
+        deterministic in its spec.
+    cache_dir:
+        Optional directory for the on-disk :class:`ResultCache`; None
+        keeps memoization in-memory only.
+
+    Completed runs are always memoized in-memory for the engine's
+    lifetime, so overlapping batches (e.g. Table 4 and Fig. 15 sharing
+    their Q-VR grid) execute each spec once even without a cache
+    directory; ``cache_dir`` additionally persists results across
+    engines and processes.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = BatchStats()
+        self._memo: dict[RunSpec, SimulationResult] = {}
+
+    # -- execution -------------------------------------------------------------
+
+    def run_specs(
+        self, specs: Iterable[RunSpec]
+    ) -> dict[RunSpec, SimulationResult]:
+        """Execute a batch; returns results keyed by spec, input-ordered.
+
+        Duplicate specs are executed once; cached specs are loaded from
+        disk; the remainder runs on the process pool (``jobs`` > 1) or
+        in-process, and lands in the cache for the next batch.
+        """
+        requested = list(specs)
+        unique = list(dict.fromkeys(requested))
+        self.stats.requested += len(requested)
+        self.stats.unique += len(unique)
+
+        results: dict[RunSpec, SimulationResult] = {}
+        misses: list[RunSpec] = []
+        for spec in unique:
+            cached = self._memo.get(spec)
+            if cached is None and self.cache is not None:
+                cached = self.cache.get(spec)
+            if cached is not None:
+                results[spec] = cached
+                self._memo[spec] = cached
+                self.stats.cache_hits += 1
+            else:
+                misses.append(spec)
+
+        for spec, result in self._execute(misses):
+            results[spec] = result
+            self._memo[spec] = result
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            self.stats.executed += 1
+        return {spec: results[spec] for spec in unique}
+
+    def _execute(
+        self, specs: list[RunSpec]
+    ) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Yield (spec, result) as runs complete.
+
+        Results stream back in completion order so each lands in the
+        cache immediately — an interrupted or partially failed sweep
+        keeps every run that finished.  Callers key by spec, so the
+        non-deterministic completion order never reaches outputs.
+        """
+        if self.jobs > 1 and len(specs) > 1:
+            workers = min(self.jobs, len(specs))
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(run, spec): spec for spec in specs}
+                for future in concurrent.futures.as_completed(futures):
+                    yield futures[future], future.result()
+        else:
+            for spec in specs:
+                yield spec, run(spec)
+
+    def run_sweep(self, sweep: Sweep) -> dict[RunSpec, SimulationResult]:
+        """Expand and execute a declarative sweep."""
+        return self.run_specs(sweep.specs())
+
+    # -- conveniences ----------------------------------------------------------
+
+    def comparison(
+        self,
+        app: str,
+        systems: tuple[str, ...] = SYSTEM_NAMES,
+        platform: PlatformConfig | None = None,
+        n_frames: int = DEFAULT_FRAMES,
+        seed: int = 0,
+    ) -> dict[str, SimulationResult]:
+        """Run several system designs on the same app and platform."""
+        sweep = Sweep(
+            systems=tuple(systems),
+            apps=(app,),
+            platforms=(platform if platform is not None else PlatformConfig(),),
+            seeds=(seed,),
+            n_frames=n_frames,
+        )
+        batch = self.run_sweep(sweep)
+        return {spec.system: result for spec, result in batch.items()}
+
+
+_DEFAULT_ENGINE: BatchEngine | None = None
+
+
+def default_engine() -> BatchEngine:
+    """The shared in-process serial engine (no cache)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = BatchEngine()
+    return _DEFAULT_ENGINE
+
+
+def run_batch(
+    specs: Iterable[RunSpec],
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+) -> dict[RunSpec, SimulationResult]:
+    """One-shot batch execution (constructs a throwaway engine)."""
+    return BatchEngine(jobs=jobs, cache_dir=cache_dir).run_specs(specs)
 
 
 def run_comparison(
@@ -53,15 +466,27 @@ def run_comparison(
     platform: PlatformConfig | None = None,
     n_frames: int = DEFAULT_FRAMES,
     seed: int = 0,
+    engine: BatchEngine | None = None,
 ) -> dict[str, SimulationResult]:
-    """Run several system designs on the same app and platform."""
-    app_obj = get_app(app) if isinstance(app, str) else app
-    platform = platform if platform is not None else PlatformConfig()
-    results: dict[str, SimulationResult] = {}
-    for name in systems:
-        system = make_system(name, app_obj, platform, seed=seed)
-        results[name] = system.run(n_frames=n_frames)
-    return results
+    """Run several system designs on the same app and platform.
+
+    Accepts an app name (routed through the batch engine, so results are
+    cacheable) or a custom :class:`VRApp` object (executed directly,
+    since ad-hoc apps have no stable registry name to key a cache on).
+    """
+    if isinstance(app, VRApp):
+        platform = platform if platform is not None else PlatformConfig()
+        warmup = effective_warmup(n_frames)
+        return {
+            name: make_system(name, app, platform, seed=seed).run(
+                n_frames=n_frames, warmup_frames=warmup
+            )
+            for name in systems
+        }
+    chosen = engine if engine is not None else default_engine()
+    return chosen.comparison(
+        app, systems=tuple(systems), platform=platform, n_frames=n_frames, seed=seed
+    )
 
 
 def speedup_over(

@@ -5,6 +5,8 @@ import pytest
 
 from repro.analysis.calibration import ANCHORS, within_band
 from repro.analysis.experiments import (
+    SIM_EXPERIMENTS,
+    fig15_energy,
     fig3_motivation,
     fig5_interaction_latency,
     fig6_foveal_sizing,
@@ -14,7 +16,9 @@ from repro.analysis.experiments import (
     table4_eccentricity,
 )
 from repro.analysis.report import format_series, format_table
+from repro.errors import ConfigurationError
 from repro.network.conditions import WIFI
+from repro.sim.runner import BatchEngine
 from repro.workloads.apps import TABLE3_ORDER
 from repro.workloads.tethered import TABLE1_ORDER
 
@@ -111,6 +115,30 @@ class TestOverheads:
         assert set(reports) == {"LIWC", "UCA"}
 
 
+class TestBatchEngineRouting:
+    def test_sim_experiments_registry_is_complete(self):
+        assert set(SIM_EXPERIMENTS) == {"fig12", "fig13", "fig14", "table4", "fig15"}
+
+    def test_table4_and_fig15_share_their_qvr_grid(self):
+        """Fig. 15's Q-VR cells are spec-identical to Table 4's runs."""
+        engine = BatchEngine()
+        kwargs = dict(
+            n_frames=40, frequencies=(500.0,), networks=(WIFI,), apps=("Doom3-L",)
+        )
+        table4_eccentricity(engine=engine, **kwargs)
+        executed_after_table4 = engine.stats.executed
+        fig15_energy(engine=engine, **kwargs)
+        # Only the local baseline is new; the qvr cell comes from the memo.
+        assert engine.stats.executed == executed_after_table4 + 1
+        assert engine.stats.cache_hits == 1
+
+    def test_explicit_engine_matches_default_path(self):
+        engine = BatchEngine()
+        via_engine = fig14_balancing(n_frames=60, engine=engine)
+        default = fig14_balancing(n_frames=60)
+        assert via_engine == default
+
+
 class TestReport:
     def test_format_table_alignment(self):
         text = format_table(["a", "bbb"], [[1, 2.5], ["x", "yy"]], title="T")
@@ -120,7 +148,7 @@ class TestReport:
         assert len(lines) == 5
 
     def test_format_table_bad_row(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             format_table(["a"], [[1, 2]])
 
     def test_format_table_bool_rendering(self):

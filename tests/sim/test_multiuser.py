@@ -27,6 +27,45 @@ class TestScenario:
             MultiUserScenario(apps=("GRID",), platform=PlatformConfig(),
                               sharing_efficiency=0.0)
 
+    def test_uniform_factory(self):
+        scenario = MultiUserScenario.uniform("GRID", 3)
+        assert scenario.n_clients == 3
+        assert scenario.apps == ("GRID",) * 3
+
+    def test_uniform_rejects_zero_users(self):
+        with pytest.raises(ConfigurationError):
+            MultiUserScenario.uniform("GRID", 0)
+        with pytest.raises(ConfigurationError):
+            MultiUserScenario.uniform("GRID", -2)
+
+
+class TestSpecSurface:
+    def test_scenario_expands_to_one_spec_per_client(self):
+        scenario = MultiUserScenario(
+            apps=("Doom3-L", "GRID"), platform=PlatformConfig()
+        )
+        specs = scenario.to_specs(n_frames=50, seed=3)
+        assert [s.app for s in specs] == ["Doom3-L", "GRID"]
+        assert all(s.shared_clients == 2 for s in specs)
+        assert specs[0].seed == 3
+        assert specs[1].seed == 3 + 97
+        # Frozen specs run through the standard batch engine unchanged.
+        from repro.sim.runner import run_batch
+
+        batch = run_batch(specs)
+        assert len(batch) == 2
+
+    def test_engine_is_shared(self):
+        from repro.sim.runner import BatchEngine
+
+        engine = BatchEngine()
+        scenario = _scenario(2)
+        first = simulate_shared_infrastructure(scenario, n_frames=50, engine=engine)
+        second = simulate_shared_infrastructure(scenario, n_frames=50, engine=engine)
+        assert engine.stats.executed == 2  # memoized on the second call
+        assert engine.stats.cache_hits == 2
+        assert first.mean_latency_ms == second.mean_latency_ms
+
 
 class TestSharedInfrastructure:
     def test_single_client_matches_solo_platform(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.network.conditions import EARLY_5G
-from repro.sim.runner import RunSpec, run, run_comparison, speedup_over
+from repro.sim.runner import BatchEngine, RunSpec, run, run_comparison, speedup_over
 from repro.sim.systems import PlatformConfig
 from repro.workloads.apps import get_app
 
@@ -44,3 +44,30 @@ class TestRunner:
         result = run(RunSpec(system="ffr", app="HL2-L", n_frames=25, warmup_frames=5))
         assert result.system == "ffr"
         assert result.app == "HL2-L"
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(system="warpdrive", app="GRID")
+
+    def test_short_run_with_default_warmup_rejected(self):
+        """warmup_frames >= n_frames would discard every steady frame."""
+        with pytest.raises(ConfigurationError):
+            RunSpec(system="qvr", app="GRID", n_frames=20)
+
+    def test_run_comparison_short_run_uses_clamped_warmup(self):
+        results = run_comparison("Doom3-L", systems=("local",), n_frames=20)
+        assert results["local"].warmup_frames == 0
+        assert len(results["local"].records) == 20
+
+    def test_run_comparison_custom_engine(self):
+        engine = BatchEngine()
+        results = run_comparison(
+            "Doom3-L", systems=("local", "qvr"), n_frames=40, engine=engine
+        )
+        assert set(results) == {"local", "qvr"}
+        assert engine.stats.executed == 2
+
+    def test_run_comparison_with_app_object_bypasses_registry(self):
+        app = get_app("Doom3-L")
+        results = run_comparison(app, systems=("local",), n_frames=20)
+        assert results["local"].app == "Doom3-L"

@@ -148,6 +148,105 @@ class TestErrors:
             make_scheduler().busy_ms("tpu")
 
 
+class TestZeroDurationTasks:
+    def test_zero_duration_finishes_instantly(self):
+        sched = make_scheduler()
+        a = sched.submit("a", 0.0, "cpu")
+        sched.run()
+        assert a.start_ms == 0.0
+        assert a.finish() == 0.0
+
+    def test_zero_duration_does_not_hold_the_resource(self):
+        sched = make_scheduler()
+        a = sched.submit("a", 0.0, "gpu")
+        b = sched.submit("b", 5.0, "gpu")
+        sched.run()
+        assert b.start_ms == 0.0
+        assert sched.busy_ms("gpu") == pytest.approx(5.0)
+
+    def test_zero_duration_chain_propagates_ready_time(self):
+        sched = make_scheduler()
+        work = sched.submit("work", 4.0, "cpu")
+        marker1 = sched.submit("m1", 0.0, "gpu", deps=(work,))
+        marker2 = sched.submit("m2", 0.0, "gpu", deps=(marker1,))
+        after = sched.submit("after", 1.0, "gpu", deps=(marker2,))
+        sched.run()
+        assert marker1.start_ms == marker2.start_ms == pytest.approx(4.0)
+        assert after.start_ms == pytest.approx(4.0)
+        assert after.finish() == pytest.approx(5.0)
+
+    def test_validate_accepts_zero_duration_at_full_capacity(self):
+        """Instantaneous tasks at a saturated instant are not oversubscription."""
+        sched = make_scheduler()
+        sched.submit("busy", 5.0, "gpu")
+        sched.submit("instant", 0.0, "gpu")
+        sched.run()
+        sched.validate()
+
+
+class TestMultiUnitContention:
+    def test_waves_fill_units_in_order(self):
+        sched = make_scheduler(gpu=3)
+        tasks = [sched.submit(f"t{i}", 4.0, "gpu") for i in range(7)]
+        sched.run()
+        starts = sorted(t.start_ms for t in tasks)
+        assert starts == pytest.approx([0.0, 0.0, 0.0, 4.0, 4.0, 4.0, 8.0])
+        sched.validate()
+
+    def test_mixed_durations_reuse_earliest_free_unit(self):
+        sched = make_scheduler(gpu=2)
+        short = sched.submit("short", 1.0, "gpu")
+        long = sched.submit("long", 10.0, "gpu")
+        third = sched.submit("third", 2.0, "gpu")
+        sched.run()
+        # The third task lands on the unit the short task frees at t=1.
+        assert short.start_ms == long.start_ms == 0.0
+        assert third.start_ms == pytest.approx(1.0)
+        sched.validate()
+
+    def test_busy_accounting_sums_across_units(self):
+        sched = make_scheduler(gpu=2)
+        sched.submit("a", 3.0, "gpu")
+        sched.submit("b", 4.0, "gpu")
+        sched.run()
+        assert sched.busy_ms("gpu") == pytest.approx(7.0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SchedulingError):
+            TaskGraphScheduler({"gpu": 0})
+
+
+class TestDependencyCycleErrors:
+    def test_cycle_error_names_unscheduled_tasks(self):
+        sched = make_scheduler()
+        a = sched.submit("cyc-a", 1.0, "cpu")
+        b = sched.submit("cyc-b", 1.0, "cpu", deps=(a,))
+        a.deps = (b,)  # forge the back edge the submit API cannot express
+        with pytest.raises(SchedulingError) as excinfo:
+            sched.run()
+        assert "cyc-a" in str(excinfo.value) or "cyc-b" in str(excinfo.value)
+
+    def test_dangling_dependency_detected(self):
+        """A dep that was never submitted can never schedule its dependent."""
+        sched = make_scheduler()
+        orphan_dep = Task("never-submitted", 1.0, "cpu")
+        sched.submit("dependent", 1.0, "cpu", deps=(orphan_dep,))
+        with pytest.raises(SchedulingError):
+            sched.run()
+
+    def test_partial_progress_still_schedules_acyclic_tasks(self):
+        """The cycle error must not corrupt independently schedulable work."""
+        sched = make_scheduler()
+        ok = sched.submit("ok", 2.0, "cpu")
+        a = sched.submit("a", 1.0, "gpu")
+        b = sched.submit("b", 1.0, "gpu", deps=(a,))
+        a.deps = (b,)
+        with pytest.raises(SchedulingError):
+            sched.run()
+        assert ok.scheduled
+        assert not a.scheduled and not b.scheduled
+
+
 class TestValidation:
     def test_validate_passes_on_good_schedule(self):
         sched = make_scheduler()

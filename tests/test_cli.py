@@ -46,3 +46,34 @@ class TestExecution:
     def test_table1_command(self, capsys):
         assert main(["table1"]) == 0
         assert "Foveated3D" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_batch_defaults_to_all_sim_experiments(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.experiments == ["fig12", "fig13", "fig14", "fig15", "table4"]
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--experiments", "fig99"])
+
+    def test_batch_command_runs_and_reports_stats(self, capsys):
+        code = main(["batch", "--experiments", "fig13", "--frames", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "cache hits" in out
+
+    def test_batch_command_with_cache_dir(self, capsys, tmp_path):
+        argv = [
+            "batch", "--experiments", "fig13", "--frames", "40",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "28 executed, 0 cache hits" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 28 cache hits" in second
