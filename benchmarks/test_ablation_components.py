@@ -6,7 +6,6 @@ contention removal; SW-QVR -> Q-VR isolates the hardware prediction path.
 Asserted: each component contributes positively on the heavy titles.
 """
 
-import numpy as np
 
 from repro.analysis.report import format_table
 from repro.sim.runner import run_comparison, speedup_over

@@ -10,14 +10,13 @@ flags for ablation:
   stage must shrink with more chiplets, with diminishing returns.
 """
 
-import numpy as np
 
 from repro.analysis.report import format_table
 from repro.codec.stream import pipelined_latency_ms
 from repro.core.liwc import LIWCConfig
 from repro.core.controllers import LIWCController
 from repro.gpu.config import RemoteServerConfig
-from repro.sim.systems import CollaborativeFoveatedSystem, PlatformConfig
+from repro.sim.systems import CollaborativeFoveatedSystem
 from repro.workloads.apps import get_app
 
 

@@ -16,10 +16,20 @@ Quick start::
     print(speedup_over(results, "qvr"))  # end-to-end speedup over local
 """
 
+from repro._version import __version__
 from repro.core.foveation import DisplayGeometry, FoveationModel, MARModel, PartitionPlan
 from repro.core.liwc import LIWC, LIWCConfig
 from repro.core.uca import UCAConfig, UCAUnit
 from repro.network.conditions import ALL_CONDITIONS, EARLY_5G, LTE_4G, WIFI
+from repro.network.profile import (
+    ConstantProfile,
+    MarkovProfile,
+    NetworkProfile,
+    PiecewiseProfile,
+    TraceProfile,
+    as_profile,
+    profile_by_name,
+)
 from repro.sim.metrics import FrameRecord, SimulationResult
 from repro.sim.runner import (
     BatchEngine,
@@ -32,8 +42,6 @@ from repro.sim.runner import (
 )
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system
 from repro.workloads.apps import APPS, TABLE3_ORDER, get_app
-
-__version__ = "1.0.0"
 
 __all__ = [
     "MARModel",
@@ -48,6 +56,13 @@ __all__ = [
     "LTE_4G",
     "EARLY_5G",
     "ALL_CONDITIONS",
+    "NetworkProfile",
+    "ConstantProfile",
+    "PiecewiseProfile",
+    "TraceProfile",
+    "MarkovProfile",
+    "as_profile",
+    "profile_by_name",
     "SimulationResult",
     "FrameRecord",
     "RunSpec",

@@ -1,0 +1,8 @@
+"""Single source of the package version.
+
+Lives in its own leaf module so layers that key persistent artifacts on
+the release (the on-disk result cache) can import it without pulling in
+the whole :mod:`repro` package surface.
+"""
+
+__version__ = "1.1.0"

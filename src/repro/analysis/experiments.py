@@ -30,6 +30,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.perf_model import GPUPerfModel, RenderWorkload
 from repro.network.channel import NetworkChannel
 from repro.network.conditions import ALL_CONDITIONS, NetworkConditions, WIFI
+from repro.network.profile import PiecewiseProfile
 from repro.sim.runner import (
     BatchEngine,
     Sweep,
@@ -59,6 +60,10 @@ __all__ = [
     "table4_eccentricity",
     "Fig15Cell",
     "fig15_energy",
+    "NetDropRow",
+    "NETDROP_APPS",
+    "default_netdrop_profile",
+    "netdrop_adaptation",
     "overhead_analysis",
     "GPU_FREQUENCIES_MHZ",
     "SIM_EXPERIMENTS",
@@ -602,6 +607,117 @@ def fig15_energy(
 
 
 # ---------------------------------------------------------------------------
+# Dynamic environments: adaptation under a mid-run bandwidth drop
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetDropRow:
+    """Q-VR steady-state behaviour inside one window of a drop profile.
+
+    The paper's prediction for a degraded link (Table 4 reasoning applied
+    mid-run): eccentricity grows (more rendering moves onto the local
+    GPU) and the remote share — downlink bytes per frame — shrinks, then
+    both recover when the bandwidth returns.
+    """
+
+    app: str
+    window: str
+    frames: int
+    mean_e1_deg: float
+    measured_fps: float
+    mean_kb_per_frame: float
+
+
+#: Titles of the bandwidth-drop adaptation study (one heavy, one light).
+NETDROP_APPS: tuple[str, ...] = ("Doom3-H", "GRID")
+
+#: Window labels when the profile is the canonical before/drop/after shape.
+_NETDROP_WINDOWS = ("before", "drop", "after")
+
+
+def default_netdrop_profile(n_frames: int) -> PiecewiseProfile:
+    """The canonical drop profile scaled to a run of ``n_frames``.
+
+    The window is placed in wall-clock terms assuming the 90 Hz target
+    frame period: nominal Wi-Fi for the first ~30% of the run, a deep
+    (x0.15) bandwidth drop for the middle ~40%, then recovery.
+    """
+    frame_ms = 1000.0 / constants.TARGET_FPS
+    return PiecewiseProfile.bandwidth_drop(
+        WIFI,
+        start_ms=0.3 * n_frames * frame_ms,
+        duration_ms=0.4 * n_frames * frame_ms,
+        factor=0.15,
+        label="netdrop",
+    )
+
+
+def netdrop_adaptation(
+    n_frames: int = 240,
+    seed: int = 0,
+    apps: tuple[str, ...] = NETDROP_APPS,
+    profile: PiecewiseProfile | None = None,
+    engine: BatchEngine | None = None,
+) -> list[NetDropRow]:
+    """Q-VR FPS/eccentricity adaptation under a bandwidth-drop trace.
+
+    Runs Q-VR under a piecewise drop profile and reports per-window
+    steady-state metrics, classifying each frame by its display instant
+    against the profile's segment boundaries.
+    """
+    profile = profile if profile is not None else default_netdrop_profile(n_frames)
+    boundaries = profile.boundaries_ms
+    names = (
+        _NETDROP_WINDOWS
+        if len(profile.segments) == 3
+        else tuple(f"seg{i}" for i in range(len(profile.segments)))
+    )
+    platform = PlatformConfig(network=profile)
+    sweep = Sweep(
+        systems=("qvr",),
+        apps=apps,
+        platforms=(platform,),
+        seeds=(seed,),
+        n_frames=n_frames,
+        warmup_frames=0,
+    )
+    batch = (engine if engine is not None else default_engine()).run_sweep(sweep)
+    rows: list[NetDropRow] = []
+    for app in apps:
+        result = batch[sweep.spec("qvr", app, platform, seed)]
+        windows: list[list] = [[] for _ in names]
+        for record in result.records:
+            index = sum(1 for b in boundaries if record.display_ms >= b)
+            windows[index].append(record)
+        for name, records in zip(names, windows):
+            if len(records) >= 2:
+                span_ms = records[-1].display_ms - records[0].display_ms
+                fps = 1000.0 * (len(records) - 1) / span_ms if span_ms > 0 else float("inf")
+            else:
+                fps = float("nan")
+            rows.append(
+                NetDropRow(
+                    app=app,
+                    window=name,
+                    frames=len(records),
+                    mean_e1_deg=(
+                        float(np.mean([r.e1_deg for r in records]))
+                        if records
+                        else float("nan")
+                    ),
+                    measured_fps=fps,
+                    mean_kb_per_frame=(
+                        float(np.mean([r.transmitted_bytes for r in records])) / 1e3
+                        if records
+                        else float("nan")
+                    ),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Sec. 4.3: design overhead analysis
 # ---------------------------------------------------------------------------
 
@@ -625,4 +741,5 @@ SIM_EXPERIMENTS: dict[str, Callable[..., object]] = {
     "fig14": fig14_balancing,
     "table4": table4_eccentricity,
     "fig15": fig15_energy,
+    "netdrop": netdrop_adaptation,
 }

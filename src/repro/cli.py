@@ -6,6 +6,8 @@ Usage (also via ``python -m repro``)::
     python -m repro table4 --frames 120
     python -m repro fig12 --frames 200 --jobs 4 --cache-dir .qvr-cache
     python -m repro batch --jobs 4 --cache-dir .qvr-cache
+    python -m repro batch --profile wifi-drop --experiments fig12 netdrop
+    python -m repro scenarios --clients Doom3-H:wifi GRID:wifi-drop:300
     python -m repro overheads
 
 Each subcommand prints the same ASCII tables the benchmark suite produces.
@@ -13,12 +15,16 @@ Each subcommand prints the same ASCII tables the benchmark suite produces.
 :class:`~repro.sim.runner.BatchEngine`, so overlapping runs (Table 4 and
 Fig. 15 share their Q-VR grid) execute once; ``--jobs`` spreads uncached
 specs over a process pool and ``--cache-dir`` memoizes results on disk
-across invocations.
+across invocations (``--clear-cache`` evicts it first).  ``--profile``
+swaps the default static network for a named dynamic profile (or a trace
+CSV path); ``scenarios`` runs a heterogeneous multi-client session where
+every client names its own ``APP[:PROFILE[:FREQ_MHZ]]``.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import time
 
 from repro.analysis.experiments import (
@@ -30,8 +36,15 @@ from repro.analysis.experiments import (
     table4_eccentricity,
 )
 from repro.analysis.report import format_table
+from repro.errors import ConfigurationError
 from repro.network.conditions import by_name
-from repro.sim.runner import BatchEngine, run_comparison, speedup_over
+from repro.network.profile import PiecewiseProfile, profile_by_name
+from repro.sim.multiuser import (
+    ClientSpec,
+    MultiUserScenario,
+    simulate_shared_infrastructure,
+)
+from repro.sim.runner import BatchEngine, ResultCache, run_comparison, speedup_over
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES
 from repro.workloads.apps import APPS, TABLE3_ORDER
 
@@ -90,7 +103,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--frames", type=int, default=240)
     batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--profile", default=None,
+        help="network profile name (e.g. wifi-drop) or trace CSV path; "
+        "applies to experiments that take a platform",
+    )
+    batch.add_argument(
+        "--clear-cache", action="store_true",
+        help="evict every on-disk cache entry before running "
+        "(requires --cache-dir)",
+    )
     _add_engine_options(batch)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="heterogeneous multi-client shared sessions"
+    )
+    scenarios.add_argument(
+        "--clients", nargs="+", required=True, metavar="APP[:PROFILE[:FREQ_MHZ]]",
+        help="one entry per client, e.g. Doom3-H:wifi GRID:wifi-drop:300",
+    )
+    scenarios.add_argument(
+        "--system", default="qvr", choices=list(SYSTEM_NAMES),
+    )
+    scenarios.add_argument("--frames", type=int, default=200)
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument("--sharing-efficiency", type=float, default=0.9)
+    _add_engine_options(scenarios)
 
     sub.add_parser("table1", help="reproduce Table 1")
     sub.add_parser("overheads", help="reproduce the Sec. 4.3 overheads")
@@ -179,14 +217,29 @@ def _cmd_fig15(args: argparse.Namespace) -> None:
 
 
 def _cmd_batch(args: argparse.Namespace) -> None:
+    if args.clear_cache:
+        if args.cache_dir is None:
+            raise ConfigurationError("--clear-cache requires --cache-dir")
+        removed = ResultCache(args.cache_dir).clear()
+        print(f"cleared {removed} cached result(s) from {args.cache_dir}")
+    profile = profile_by_name(args.profile) if args.profile is not None else None
     engine = _engine_from(args)
     rows = []
     total_start = time.perf_counter()
     for name in args.experiments:
+        func = SIM_EXPERIMENTS[name]
+        kwargs = {"n_frames": args.frames, "seed": args.seed, "engine": engine}
+        if profile is not None:
+            params = inspect.signature(func).parameters
+            if "profile" in params and isinstance(profile, PiecewiseProfile):
+                kwargs["profile"] = profile
+            elif "platform" in params:
+                kwargs["platform"] = PlatformConfig(network=profile)
+            else:
+                rows.append([name, "skipped (no --profile support)", "-"])
+                continue
         start = time.perf_counter()
-        result = SIM_EXPERIMENTS[name](
-            n_frames=args.frames, seed=args.seed, engine=engine
-        )
+        result = func(**kwargs)
         rows.append([name, len(result), f"{time.perf_counter() - start:.2f}"])
     total_s = time.perf_counter() - total_start
     print(
@@ -196,6 +249,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
             title=(
                 f"repro batch — {len(args.experiments)} experiments, "
                 f"jobs={args.jobs}, frames={args.frames}"
+                + (f", profile={args.profile}" if args.profile else "")
             ),
         )
     )
@@ -204,6 +258,77 @@ def _cmd_batch(args: argparse.Namespace) -> None:
         f"specs: {stats.requested} requested, {stats.unique} unique, "
         f"{stats.executed} executed, {stats.cache_hits} cache hits, "
         f"{stats.deduplicated} deduplicated in-batch; total {total_s:.2f}s"
+    )
+
+
+def _parse_client(token: str) -> ClientSpec:
+    """Parse one ``APP[:PROFILE[:FREQ_MHZ]]`` client description."""
+    parts = token.split(":")
+    if len(parts) > 3 or not parts[0]:
+        raise ConfigurationError(
+            f"bad client spec {token!r}; expected APP[:PROFILE[:FREQ_MHZ]]"
+        )
+    app = parts[0]
+    if app not in APPS:
+        raise ConfigurationError(f"unknown app {app!r}; known: {sorted(APPS)}")
+    profile = profile_by_name(parts[1]) if len(parts) >= 2 and parts[1] else None
+    platform = None
+    if len(parts) == 3 and parts[2]:
+        try:
+            frequency_mhz = float(parts[2])
+        except ValueError:
+            raise ConfigurationError(
+                f"bad frequency {parts[2]!r} in client spec {token!r}"
+            ) from None
+        platform = PlatformConfig().with_gpu_frequency(frequency_mhz)
+    return ClientSpec(app=app, platform=platform, profile=profile)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> None:
+    clients = tuple(_parse_client(token) for token in args.clients)
+    scenario = MultiUserScenario.heterogeneous(
+        clients, sharing_efficiency=args.sharing_efficiency
+    )
+    result = simulate_shared_infrastructure(
+        scenario,
+        n_frames=args.frames,
+        seed=args.seed,
+        system=args.system,
+        engine=_engine_from(args),
+    )
+    rows = []
+    for client, client_result in zip(clients, result.per_client):
+        platform = client.resolved_platform(scenario.platform)
+        network = platform.network
+        rows.append(
+            [
+                client.app,
+                getattr(network, "name", type(network).__name__),
+                f"{platform.gpu.frequency_mhz:.0f}",
+                client_result.mean_e1_deg,
+                client_result.measured_fps,
+                client_result.mean_latency_ms,
+                client_result.mean_transmitted_bytes / 1e3,
+                "yes" if client_result.meets_target_fps else "no",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "app", "profile", "MHz", "e1 (deg)", "FPS",
+                "latency (ms)", "KB/frame", ">=90 FPS",
+            ],
+            rows,
+            title=(
+                f"{args.system} — {scenario.n_clients} heterogeneous clients, "
+                "shared server + downlink"
+            ),
+        )
+    )
+    print(
+        f"aggregate: {result.mean_fps:.1f} FPS mean, "
+        f"e1 {result.mean_e1_deg:.1f} deg mean, "
+        f"{result.clients_meeting_fps}/{scenario.n_clients} clients hold 90 Hz"
     )
 
 
@@ -239,6 +364,7 @@ _COMMANDS = {
     "table4": _cmd_table4,
     "fig15": _cmd_fig15,
     "batch": _cmd_batch,
+    "scenarios": _cmd_scenarios,
     "table1": _cmd_table1,
     "overheads": _cmd_overheads,
 }

@@ -8,9 +8,9 @@ The remote server's energy is excluded, as in the paper (it evaluates the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.energy.power import AcceleratorPower, GPUPowerModel, RADIO_POWER, RadioPowerModel
+from repro.energy.power import AcceleratorPower, GPUPowerModel, RADIO_POWER
 from repro.errors import ConfigurationError
 from repro.sim.metrics import SimulationResult
 

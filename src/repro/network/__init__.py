@@ -1,4 +1,4 @@
-"""Network substrate: wireless conditions presets and channel model."""
+"""Network substrate: condition presets, time-varying profiles, channel."""
 
 from repro.network.channel import NetworkChannel, TransferRecord, snr_efficiency
 from repro.network.conditions import (
@@ -8,6 +8,17 @@ from repro.network.conditions import (
     NetworkConditions,
     WIFI,
     by_name,
+)
+from repro.network.profile import (
+    ConstantProfile,
+    MarkovProfile,
+    NetworkProfile,
+    PROFILES,
+    PiecewiseProfile,
+    TraceProfile,
+    as_profile,
+    profile_by_name,
+    shared_conditions,
 )
 
 __all__ = [
@@ -20,4 +31,13 @@ __all__ = [
     "EARLY_5G",
     "ALL_CONDITIONS",
     "by_name",
+    "NetworkProfile",
+    "ConstantProfile",
+    "PiecewiseProfile",
+    "TraceProfile",
+    "MarkovProfile",
+    "PROFILES",
+    "as_profile",
+    "profile_by_name",
+    "shared_conditions",
 ]

@@ -9,6 +9,11 @@ This module reproduces that model:
 * the **effective throughput** is the nominal rate scaled by a
   Shannon-derived spectral-efficiency factor for the configured SNR and by
   a per-frame lognormal-ish jitter term (deterministic per seed);
+* conditions may be **time-varying**: the channel carries a simulation
+  clock (:meth:`NetworkChannel.advance_to`) and samples its
+  :class:`~repro.network.profile.NetworkProfile` at the current instant,
+  so a mid-run bandwidth drop reaches every subsequent transfer and the
+  ACK estimate the controllers watch;
 * transfers include a fixed protocol overhead and the one-way propagation
   delay is exposed separately (it belongs to the *path*, not the payload);
 * the channel records per-transfer observations and exposes the **ACK
@@ -26,6 +31,7 @@ import numpy as np
 from repro import constants
 from repro.errors import NetworkError
 from repro.network.conditions import NetworkConditions
+from repro.network.profile import NetworkProfile, as_profile
 
 __all__ = ["TransferRecord", "NetworkChannel", "snr_efficiency"]
 
@@ -62,22 +68,50 @@ class NetworkChannel:
     Parameters
     ----------
     conditions:
-        Link profile (throughput, propagation, SNR, jitter).
+        Static link conditions or a time-varying
+        :class:`~repro.network.profile.NetworkProfile` (static conditions
+        become the constant profile).
     seed:
-        Seed for the deterministic per-transfer jitter stream.
+        Seed for the deterministic per-transfer jitter stream and for any
+        stochastic profile sampling.
 
     Notes
     -----
-    The jitter stream advances once per transfer, so two identically
-    seeded channels replaying the same transfer sequence observe identical
-    durations — experiments are exactly reproducible.
+    The jitter stream advances once per transfer and profile sampling is
+    a pure function of ``(seed, time)``, so two identically seeded
+    channels replaying the same transfer/clock sequence observe identical
+    durations — experiments are exactly reproducible.  The owner of the
+    channel (the frame loop) moves the clock forward with
+    :meth:`advance_to`; all throughput properties read the conditions at
+    the current instant.
     """
 
-    def __init__(self, conditions: NetworkConditions, seed: int = 0) -> None:
-        self.conditions = conditions
+    def __init__(
+        self, conditions: NetworkConditions | NetworkProfile, seed: int = 0
+    ) -> None:
+        self.profile = as_profile(conditions)
+        self._sampler = self.profile.sampler(seed)
+        self._now_ms = 0.0
         self._rng = np.random.default_rng(seed)
         self._history: list[TransferRecord] = []
         self._ack_estimate_bytes_per_ms: float | None = None
+
+    # -- the environment clock -------------------------------------------------
+
+    @property
+    def now_ms(self) -> float:
+        """Current instant of the channel's environment clock."""
+        return self._now_ms
+
+    def advance_to(self, t_ms: float) -> None:
+        """Move the environment clock forward (monotonic; never rewinds)."""
+        if t_ms > self._now_ms:
+            self._now_ms = t_ms
+
+    @property
+    def conditions(self) -> NetworkConditions:
+        """Link conditions at the current instant of the profile."""
+        return self._sampler.conditions_at(self._now_ms)
 
     # -- throughput ----------------------------------------------------------
 

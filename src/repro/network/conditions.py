@@ -29,7 +29,9 @@ class NetworkConditions:
     propagation_ms:
         One-way propagation + stack latency to the rendering server.
     snr_db:
-        Signal-to-noise ratio of the white-noise channel model.
+        Signal-to-noise ratio of the white-noise channel model; must be
+        positive (the Shannon efficiency derating degenerates at and
+        below 0 dB and the noise model is meaningless there).
     jitter_fraction:
         Relative RMS per-frame throughput variation.
     """
@@ -45,6 +47,8 @@ class NetworkConditions:
             raise NetworkError(f"throughput must be > 0, got {self.throughput_mbps}")
         if self.propagation_ms < 0:
             raise NetworkError(f"propagation must be >= 0, got {self.propagation_ms}")
+        if self.snr_db <= 0:
+            raise NetworkError(f"snr_db must be > 0 dB, got {self.snr_db}")
         if not 0 <= self.jitter_fraction < 1:
             raise NetworkError(
                 f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
@@ -59,9 +63,29 @@ EARLY_5G = NetworkConditions(name="Early 5G", throughput_mbps=500.0, propagation
 ALL_CONDITIONS = (WIFI, LTE_4G, EARLY_5G)
 
 
+#: CLI-friendly slug aliases for the Table 2 presets.
+_SLUGS: dict[str, NetworkConditions] = {
+    "wifi": WIFI,
+    "4g": LTE_4G,
+    "lte": LTE_4G,
+    "5g": EARLY_5G,
+}
+
+
 def by_name(name: str) -> NetworkConditions:
-    """Look up a preset by its table label (case-insensitive)."""
+    """Look up a preset by its table label or slug (case-insensitive).
+
+    Accepts both the paper's table labels (``"Wi-Fi"``, ``"4G LTE"``,
+    ``"Early 5G"``) and the short slug forms the CLI uses (``"wifi"``,
+    ``"4g"``/``"lte"``, ``"5g"``).
+    """
+    key = name.strip().lower()
     for conditions in ALL_CONDITIONS:
-        if conditions.name.lower() == name.lower():
+        if conditions.name.lower() == key:
             return conditions
-    raise NetworkError(f"unknown network conditions: {name!r}")
+    if key in _SLUGS:
+        return _SLUGS[key]
+    valid = sorted({c.name for c in ALL_CONDITIONS} | set(_SLUGS))
+    raise NetworkError(
+        f"unknown network conditions {name!r}; valid names: {', '.join(valid)}"
+    )

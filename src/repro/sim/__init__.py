@@ -1,6 +1,12 @@
 """Pipeline simulation: DES scheduler, system designs, metrics, batch runner."""
 
 from repro.sim.metrics import FrameRecord, SimulationResult, paper_fps
+from repro.sim.multiuser import (
+    ClientSpec,
+    MultiUserResult,
+    MultiUserScenario,
+    simulate_shared_infrastructure,
+)
 from repro.sim.runner import (
     BatchEngine,
     BatchStats,
@@ -49,4 +55,8 @@ __all__ = [
     "CollaborativeFoveatedSystem",
     "SYSTEM_NAMES",
     "make_system",
+    "ClientSpec",
+    "MultiUserScenario",
+    "MultiUserResult",
+    "simulate_shared_infrastructure",
 ]

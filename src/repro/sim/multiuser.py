@@ -10,6 +10,13 @@ batches: a scenario expands to one spec per client (carrying the
 through the same :class:`~repro.sim.runner.BatchEngine` as every other
 experiment, so multi-user evaluation parallelises and memoizes for free.
 
+Sessions are **heterogeneous**: each :class:`ClientSpec` names its own
+``(app, platform, profile)`` tuple — one participant on a flagship SoC
+over Wi-Fi, another on a throttled GPU over a 4G link that drops mid-run
+— matching how surveys of synchronous VR collaboration characterise real
+sessions.  The uniform all-same-title scenario remains the
+:meth:`MultiUserScenario.uniform` special case.
+
 Model: each client runs the full Q-VR control loop independently; the
 shared infrastructure scales each client's effective resources —
 
@@ -26,11 +33,13 @@ the behaviour a planet-scale deployment would exhibit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.network.conditions import NetworkConditions
+from repro.network.profile import NetworkProfile, as_profile
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import (
     BatchEngine,
@@ -41,35 +50,107 @@ from repro.sim.runner import (
 )
 from repro.sim.systems import PlatformConfig
 
-__all__ = ["MultiUserScenario", "MultiUserResult", "simulate_shared_infrastructure"]
+__all__ = [
+    "ClientSpec",
+    "MultiUserScenario",
+    "MultiUserResult",
+    "simulate_shared_infrastructure",
+]
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """One participant of a shared session: app, hardware, link dynamics.
+
+    Attributes
+    ----------
+    app:
+        The title this client runs.
+    platform:
+        The client's own platform; ``None`` inherits the scenario default.
+    profile:
+        Link conditions/profile override (a
+        :class:`~repro.network.profile.NetworkProfile`, static
+        conditions, or a registry name); ``None`` keeps the platform's
+        network.  A client whose resolved network differs from the
+        scenario default is on a *private* link: it still shares the
+        rendering server, but its downlink is not divided across the
+        session's clients.
+    system:
+        Per-client system design override; ``None`` uses the scenario
+        run's system.
+    """
+
+    app: str
+    platform: PlatformConfig | None = None
+    profile: NetworkProfile | NetworkConditions | str | None = None
+    system: str | None = None
+
+    def resolved_platform(self, default: PlatformConfig) -> PlatformConfig:
+        """The platform this client runs on, with its profile applied."""
+        platform = self.platform if self.platform is not None else default
+        if self.profile is not None:
+            platform = replace(platform, network=as_profile(self.profile))
+        return platform
 
 
 @dataclass(frozen=True)
 class MultiUserScenario:
-    """A shared-infrastructure deployment.
+    """A shared-infrastructure deployment of heterogeneous clients.
+
+    Construct either from ``clients`` (per-client
+    :class:`ClientSpec` tuples — bare app-name strings are promoted) or
+    from the legacy uniform surface ``apps`` (one title per client, all
+    on the scenario platform).  Exactly one of the two spellings must
+    describe the session; both fields are populated coherently after
+    construction.
 
     Attributes
     ----------
     apps:
-        One title per client (clients may run different games).
+        One title per client (derived from ``clients`` when those are
+        given explicitly).
     platform:
-        The single-user platform being shared.
+        The default single-user platform being shared; clients may
+        override it per :class:`ClientSpec`.
     sharing_efficiency:
         Fraction of ideal 1/N scaling the infrastructure achieves
         (statistical multiplexing recovers some capacity because clients'
-        transfers interleave; 1.0 = perfect interleaving, i.e. each of N
-        clients sees capacity/N x 1/efficiency... values < 1 model
-        scheduling losses).
+        transfers interleave; 1.0 = perfect interleaving, values < 1
+        model scheduling losses).
+    clients:
+        The full per-client description of the session.
     """
 
-    apps: tuple[str, ...]
-    platform: PlatformConfig
+    apps: tuple[str, ...] = ()
+    platform: PlatformConfig | None = None
     sharing_efficiency: float = 0.9
+    clients: tuple[ClientSpec, ...] = ()
 
     def __post_init__(self) -> None:
-        if len(self.apps) < 1:
+        if self.platform is None:
+            object.__setattr__(self, "platform", PlatformConfig())
+        if self.clients:
+            promoted = tuple(
+                client if isinstance(client, ClientSpec) else ClientSpec(app=client)
+                for client in self.clients
+            )
+            object.__setattr__(self, "clients", promoted)
+            derived = tuple(client.app for client in promoted)
+            if self.apps and tuple(self.apps) != derived:
+                raise ConfigurationError(
+                    f"apps {self.apps!r} disagree with clients {derived!r}; "
+                    "provide one of the two"
+                )
+            object.__setattr__(self, "apps", derived)
+        elif self.apps:
+            object.__setattr__(self, "apps", tuple(self.apps))
+            object.__setattr__(
+                self, "clients", tuple(ClientSpec(app=app) for app in self.apps)
+            )
+        else:
             raise ConfigurationError(
-                "scenario needs n_users >= 1 (one app per client)"
+                "scenario needs n_users >= 1 (one app or ClientSpec per client)"
             )
         if not 0 < self.sharing_efficiency <= 1:
             raise ConfigurationError("sharing_efficiency must be in (0, 1]")
@@ -87,14 +168,28 @@ class MultiUserScenario:
             raise ConfigurationError(f"n_users must be >= 1, got {n_users}")
         return cls(
             apps=(app,) * n_users,
-            platform=platform if platform is not None else PlatformConfig(),
+            platform=platform,
             sharing_efficiency=sharing_efficiency,
+        )
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        clients: tuple[ClientSpec | str, ...],
+        platform: PlatformConfig | None = None,
+        sharing_efficiency: float = 0.9,
+    ) -> "MultiUserScenario":
+        """A scenario of per-client ``(app, platform, profile)`` tuples."""
+        return cls(
+            platform=platform,
+            sharing_efficiency=sharing_efficiency,
+            clients=tuple(clients),
         )
 
     @property
     def n_clients(self) -> int:
         """Number of co-located clients."""
-        return len(self.apps)
+        return len(self.clients)
 
     def to_specs(
         self,
@@ -107,25 +202,34 @@ class MultiUserScenario:
 
         Clients receive distinct seeds (stride
         :data:`~repro.sim.runner.CLIENT_SEED_STRIDE`) so their motion and
-        scene dynamics are independent; each spec carries the scenario's
-        sharing parameters so the engine derives the degraded platform.
+        scene dynamics are independent; each spec carries the client's
+        resolved platform/profile and the scenario's sharing parameters,
+        so the engine derives the degraded per-client environment.
         """
         warmup = (
             effective_warmup(n_frames) if warmup_frames is None else warmup_frames
         )
-        return tuple(
-            RunSpec(
-                system=system,
-                app=app_name,
-                platform=self.platform,
-                n_frames=n_frames,
-                seed=seed + CLIENT_SEED_STRIDE * client_index,
-                warmup_frames=warmup,
-                shared_clients=self.n_clients,
-                sharing_efficiency=self.sharing_efficiency,
+        assert self.platform is not None
+        default_network = self.platform.network
+        specs = []
+        for client_index, client in enumerate(self.clients):
+            resolved = client.resolved_platform(self.platform)
+            specs.append(
+                RunSpec(
+                    system=client.system if client.system is not None else system,
+                    app=client.app,
+                    platform=resolved,
+                    n_frames=n_frames,
+                    seed=seed + CLIENT_SEED_STRIDE * client_index,
+                    warmup_frames=warmup,
+                    shared_clients=self.n_clients,
+                    sharing_efficiency=self.sharing_efficiency,
+                    # A client on its own link shares the server but not
+                    # the session downlink.
+                    shared_downlink=resolved.network == default_network,
+                )
             )
-            for client_index, app_name in enumerate(self.apps)
-        )
+        return tuple(specs)
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,6 @@ loudly at submit time.
 
 from __future__ import annotations
 
-from repro import constants
 
 __all__ = [
     "CPU",

@@ -35,8 +35,10 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro._version import __version__
 from repro.errors import ConfigurationError
 from repro.network.conditions import NetworkConditions
+from repro.network.profile import NetworkProfile, as_profile, shared_conditions
 from repro.sim.metrics import SimulationResult
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system
 from repro.workloads.apps import VRApp, get_app
@@ -67,7 +69,8 @@ DEFAULT_WARMUP = 30
 CLIENT_SEED_STRIDE = 97
 
 #: Bump when spec semantics change so stale cache entries never resurface.
-_SPEC_SCHEMA_VERSION = 1
+#: (v2: network profiles inside PlatformConfig, package version in the key.)
+_SPEC_SCHEMA_VERSION = 2
 
 
 def effective_warmup(n_frames: int, warmup_frames: int = DEFAULT_WARMUP) -> int:
@@ -89,7 +92,10 @@ class RunSpec:
     platform's server throughput and downlink divide across that many
     co-located clients (with ``sharing_efficiency`` of ideal 1/N scaling)
     before the run executes, so multi-user scenarios flow through the
-    same batch engine as every other experiment.
+    same batch engine as every other experiment.  ``shared_downlink``
+    scopes the network part of that degradation: a heterogeneous client
+    that brings its own private link (a per-client profile) still shares
+    the rendering server but keeps its full link capacity.
     """
 
     system: str
@@ -100,6 +106,7 @@ class RunSpec:
     warmup_frames: int = DEFAULT_WARMUP
     shared_clients: int = 1
     sharing_efficiency: float = 0.9
+    shared_downlink: bool = True
 
     def __post_init__(self) -> None:
         if self.system.lower() not in SYSTEM_NAMES:
@@ -134,15 +141,12 @@ class RunSpec:
             return self.platform
         share = 1.0 / (n * self.sharing_efficiency)
         base = self.platform
-        shared_network = NetworkConditions(
-            name=base.network.name,
-            throughput_mbps=base.network.throughput_mbps * share,
-            propagation_ms=base.network.propagation_ms,
-            snr_db=base.network.snr_db,
-            jitter_fraction=min(
-                base.network.jitter_fraction * (1 + 0.1 * (n - 1)), 0.5
-            ),
-        )
+        if not self.shared_downlink:
+            shared_network: NetworkConditions | NetworkProfile = base.network
+        elif isinstance(base.network, NetworkProfile):
+            shared_network = base.network.shared(n, self.sharing_efficiency)
+        else:
+            shared_network = shared_conditions(base.network, n, self.sharing_efficiency)
         shared_server = replace(
             base.server,
             per_gpu_speedup=base.server.per_gpu_speedup * share,
@@ -172,6 +176,12 @@ class Sweep:
     seeds`` (in that deterministic order); scalar fields are shared by
     every expanded spec.  ``warmup_frames=None`` selects the largest
     valid default warm-up for ``n_frames`` (see :func:`effective_warmup`).
+
+    ``profiles`` adds a network-environment axis: each platform is
+    crossed with each profile (conditions, profile objects, or registry
+    names — see :func:`~repro.network.profile.as_profile`), replacing the
+    platform's network, so one sweep covers the same hardware under many
+    link dynamics.
     """
 
     systems: tuple[str, ...]
@@ -182,15 +192,31 @@ class Sweep:
     warmup_frames: int | None = None
     shared_clients: int = 1
     sharing_efficiency: float = 0.9
+    profiles: tuple[NetworkProfile | NetworkConditions | str, ...] | None = None
 
     def __post_init__(self) -> None:
         for name in ("systems", "apps", "platforms", "seeds"):
             if not getattr(self, name):
                 raise ConfigurationError(f"sweep dimension {name!r} is empty")
+        if self.profiles is not None and not self.profiles:
+            raise ConfigurationError("sweep dimension 'profiles' is empty")
+
+    def resolved_platforms(self) -> tuple[PlatformConfig, ...]:
+        """The platform axis after crossing with the profile axis."""
+        if self.profiles is None:
+            return self.platforms
+        return tuple(
+            replace(platform, network=as_profile(profile))
+            for platform in self.platforms
+            for profile in self.profiles
+        )
 
     def __len__(self) -> int:
         return (
-            len(self.platforms) * len(self.systems) * len(self.apps) * len(self.seeds)
+            len(self.resolved_platforms())
+            * len(self.systems)
+            * len(self.apps)
+            * len(self.seeds)
         )
 
     def spec(
@@ -218,7 +244,7 @@ class Sweep:
         return tuple(
             self.spec(system, app, platform, seed)
             for platform, system, app, seed in itertools.product(
-                self.platforms, self.systems, self.apps, self.seeds
+                self.resolved_platforms(), self.systems, self.apps, self.seeds
             )
         )
 
@@ -254,9 +280,19 @@ def _canonical(value: object) -> object:
 
 
 def spec_key(spec: RunSpec) -> str:
-    """Stable content hash of a spec (cache key, identical across processes)."""
+    """Stable content hash of a spec (cache key, identical across processes).
+
+    The key mixes in the spec schema version and the package version, so
+    cached results produced by an older spec layout or an older release
+    (whose models may have changed) invalidate instead of being silently
+    reused.
+    """
     payload = json.dumps(
-        {"version": _SPEC_SCHEMA_VERSION, "spec": _canonical(spec)},
+        {
+            "version": _SPEC_SCHEMA_VERSION,
+            "package": __version__,
+            "spec": _canonical(spec),
+        },
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -304,6 +340,22 @@ class ResultCache:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
             raise
+
+    def clear(self) -> int:
+        """Evict every cached entry; returns how many files were removed.
+
+        Stale entries (older schema or package versions) are unreachable
+        anyway — their keys no longer match — but they still occupy disk;
+        this is the eviction helper behind ``repro batch --clear-cache``.
+        """
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -32,7 +32,6 @@ occupancy (which throttles FPS) remains the full serialisation time.
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 
@@ -59,6 +58,7 @@ from repro.gpu.remote_gpu import RemoteRenderer
 from repro.motion.dof import GazeDelta, PoseDelta
 from repro.network.channel import NetworkChannel
 from repro.network.conditions import NetworkConditions, WIFI
+from repro.network.profile import NetworkProfile
 from repro.sim import resources as R
 from repro.sim.metrics import FrameRecord, SimulationResult
 from repro.sim.scheduler import Task, TaskGraphScheduler
@@ -91,11 +91,17 @@ _PACING_WINDOW = 2
 
 @dataclass(frozen=True)
 class PlatformConfig:
-    """Everything that defines the hardware/network environment of a run."""
+    """Everything that defines the hardware/network environment of a run.
+
+    ``network`` accepts either static :class:`NetworkConditions` (the
+    Table 2 presets, constant for the whole run) or a time-varying
+    :class:`~repro.network.profile.NetworkProfile`; the channel samples
+    it as the frame loop advances.
+    """
 
     gpu: GPUConfig = field(default_factory=GPUConfig)
     server: RemoteServerConfig = field(default_factory=RemoteServerConfig)
-    network: NetworkConditions = WIFI
+    network: NetworkConditions | NetworkProfile = WIFI
     codec: H264Model = field(default_factory=H264Model)
     uca: UCAConfig = field(default_factory=UCAConfig)
     stream_chunks: int = DEFAULT_CHUNKS
@@ -185,7 +191,7 @@ class VRSystem(ABC):
             f"f{index}:up{label}", self.channel.one_way_ms, None, deps=(issue,)
         )
         rr = scheduler.submit(f"f{index}:RR{label}", render_ms, R.REMOTE_GPU, deps=(up,))
-        enc = scheduler.submit(f"f{index}:ENC{label}", encode_ms, R.ENCODER, deps=(rr,))
+        scheduler.submit(f"f{index}:ENC{label}", encode_ms, R.ENCODER, deps=(rr,))
         scheduler.run()
         lead_ms = (render_ms + encode_ms) / chunks
         net = scheduler.submit(
@@ -261,6 +267,7 @@ class LocalOnlySystem(VRSystem):
             pace = [ls]
             if len(merges) >= _PACING_WINDOW:
                 pace.append(merges[-_PACING_WINDOW])
+            self.channel.advance_to(disp.finish())
             assert lr.start_ms is not None
             records.append(
                 FrameRecord(
@@ -308,6 +315,7 @@ class RemoteOnlySystem(VRSystem):
             pace = [ls]
             if len(merges) >= _PACING_WINDOW:
                 pace.append(merges[-_PACING_WINDOW])
+            self.channel.advance_to(disp.finish())
             remote_path = vd.finish() - ls.finish()
             serial_remote = self._serial_remote_ms(
                 render_ms, encode_ms, transmit_ms, decode_ms
@@ -414,6 +422,7 @@ class StaticCollaborativeSystem(VRSystem):
             pace = [ls]
             if len(merges) >= _PACING_WINDOW:
                 pace.append(merges[-_PACING_WINDOW])
+            self.channel.advance_to(disp.finish())
 
             remote_path = bg_ready.finish() - ls.finish()
             assert lr.start_ms is not None
@@ -599,6 +608,10 @@ class CollaborativeFoveatedSystem(VRSystem):
             scheduler.run()
 
             # --- pacing and controller feedback -----------------------------------------
+            # Advance the environment clock: the next frame's transfers
+            # and ACK observations sample the link profile at the instant
+            # this frame reached the display.
+            self.channel.advance_to(disp.finish())
             merges.append(merge)
             pace = [ls]
             if self.controller.requires_completed_frame:

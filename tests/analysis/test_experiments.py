@@ -6,11 +6,13 @@ import pytest
 from repro.analysis.calibration import ANCHORS, within_band
 from repro.analysis.experiments import (
     SIM_EXPERIMENTS,
+    default_netdrop_profile,
     fig15_energy,
     fig3_motivation,
     fig5_interaction_latency,
     fig6_foveal_sizing,
     fig14_balancing,
+    netdrop_adaptation,
     overhead_analysis,
     table1_static_characterization,
     table4_eccentricity,
@@ -19,7 +21,6 @@ from repro.analysis.report import format_series, format_table
 from repro.errors import ConfigurationError
 from repro.network.conditions import WIFI
 from repro.sim.runner import BatchEngine
-from repro.workloads.apps import TABLE3_ORDER
 from repro.workloads.tethered import TABLE1_ORDER
 
 
@@ -117,7 +118,9 @@ class TestOverheads:
 
 class TestBatchEngineRouting:
     def test_sim_experiments_registry_is_complete(self):
-        assert set(SIM_EXPERIMENTS) == {"fig12", "fig13", "fig14", "table4", "fig15"}
+        assert set(SIM_EXPERIMENTS) == {
+            "fig12", "fig13", "fig14", "table4", "fig15", "netdrop",
+        }
 
     def test_table4_and_fig15_share_their_qvr_grid(self):
         """Fig. 15's Q-VR cells are spec-identical to Table 4's runs."""
@@ -137,6 +140,43 @@ class TestBatchEngineRouting:
         via_engine = fig14_balancing(n_frames=60, engine=engine)
         default = fig14_balancing(n_frames=60)
         assert via_engine == default
+
+
+class TestNetDrop:
+    def test_rows_cover_apps_and_windows(self):
+        rows = netdrop_adaptation(n_frames=160, apps=("GRID",))
+        assert [row.window for row in rows] == ["before", "drop", "after"]
+        assert all(row.app == "GRID" for row in rows)
+        assert sum(row.frames for row in rows) == 160
+
+    def test_paper_predicted_adaptation(self):
+        """Eccentricity grows and the remote share shrinks in the window."""
+        rows = {row.window: row for row in netdrop_adaptation(n_frames=160, apps=("GRID",))}
+        assert rows["drop"].mean_e1_deg > rows["before"].mean_e1_deg
+        assert rows["drop"].mean_kb_per_frame < rows["before"].mean_kb_per_frame
+        assert rows["drop"].measured_fps < rows["before"].measured_fps
+        assert rows["after"].mean_e1_deg < rows["drop"].mean_e1_deg
+
+    def test_default_profile_scales_with_frames(self):
+        short = default_netdrop_profile(100)
+        long = default_netdrop_profile(300)
+        assert short.boundaries_ms[0] < long.boundaries_ms[0]
+        assert short.segments[0][1] == WIFI
+
+    def test_custom_profile_windows(self):
+        from repro.network.profile import PiecewiseProfile
+
+        profile = PiecewiseProfile.bandwidth_drop(WIFI, 300.0, 400.0, 0.2)
+        rows = netdrop_adaptation(n_frames=120, apps=("Doom3-L",), profile=profile)
+        assert len(rows) == 3
+
+    def test_deterministic_and_cacheable(self):
+        engine = BatchEngine()
+        first = netdrop_adaptation(n_frames=120, apps=("GRID",), engine=engine)
+        second = netdrop_adaptation(n_frames=120, apps=("GRID",), engine=engine)
+        assert first == second
+        assert engine.stats.executed == 1
+        assert engine.stats.cache_hits == 1
 
 
 class TestReport:

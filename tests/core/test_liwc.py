@@ -239,7 +239,6 @@ class TestLIWCClosedLoop:
         assert liwc.last_imbalance_ms is None
 
     def test_step_limited_to_five_degrees(self):
-        env = _Env()
         liwc = LIWC()
         history = [liwc.e1_deg]
         triangles = 1e6

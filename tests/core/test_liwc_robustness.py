@@ -8,7 +8,6 @@ gracefully when the environment becomes hostile.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.liwc import LIWC, LIWCConfig
 from repro.motion.dof import GazeDelta, PoseDelta

@@ -1,6 +1,5 @@
 """Tests for pose algebra, motion traces and sensor sampling."""
 
-import math
 
 import numpy as np
 import pytest

@@ -24,6 +24,20 @@ class TestConditions:
         with pytest.raises(NetworkError):
             by_name("6G")
 
+    def test_by_name_slugs(self):
+        assert by_name("wifi") is WIFI
+        assert by_name("4g") is LTE_4G
+        assert by_name("lte") is LTE_4G
+        assert by_name("5g") is EARLY_5G
+        assert by_name(" 5G ") is EARLY_5G
+
+    def test_by_name_error_lists_valid_names(self):
+        with pytest.raises(NetworkError) as excinfo:
+            by_name("6G")
+        message = str(excinfo.value)
+        for expected in ("Wi-Fi", "4G LTE", "Early 5G", "wifi", "4g", "5g"):
+            assert expected in message
+
     def test_invalid_conditions(self):
         from repro.network.conditions import NetworkConditions
 
@@ -31,6 +45,22 @@ class TestConditions:
             NetworkConditions("x", throughput_mbps=0, propagation_ms=1)
         with pytest.raises(NetworkError):
             NetworkConditions("x", throughput_mbps=10, propagation_ms=-1)
+
+    def test_invalid_snr_rejected(self):
+        from repro.network.conditions import NetworkConditions
+
+        with pytest.raises(NetworkError):
+            NetworkConditions("x", throughput_mbps=10, propagation_ms=1, snr_db=0.0)
+        with pytest.raises(NetworkError):
+            NetworkConditions("x", throughput_mbps=10, propagation_ms=1, snr_db=-5.0)
+
+    def test_positive_snr_accepted(self):
+        from repro.network.conditions import NetworkConditions
+
+        conditions = NetworkConditions(
+            "x", throughput_mbps=10, propagation_ms=1, snr_db=3.0
+        )
+        assert conditions.snr_db == 3.0
 
 
 class TestSNREfficiency:
@@ -115,3 +145,60 @@ class TestChannel:
         # Even with worst-case jitter the transfer is bounded by 4x nominal.
         floor = payload / channel.nominal_bytes_per_ms
         assert floor * 0.5 < duration < floor * 5 + 1.0
+
+
+class TestChannelEdgeCases:
+    def test_zero_byte_transfer_consumes_no_jitter(self):
+        """Free transfers must not advance the rng stream (determinism)."""
+        plain = NetworkChannel(WIFI, seed=4)
+        interleaved = NetworkChannel(WIFI, seed=4)
+        expected = [plain.transfer_time_ms(5e5) for _ in range(5)]
+        observed = []
+        for _ in range(5):
+            interleaved.transfer_time_ms(0.0)
+            observed.append(interleaved.transfer_time_ms(5e5))
+        assert observed == expected
+
+    def test_zero_byte_transfer_keeps_ack_estimate(self):
+        channel = NetworkChannel(WIFI, seed=4)
+        prior = channel.ack_throughput_bytes_per_ms
+        channel.transfer_time_ms(0.0)
+        assert channel.ack_throughput_bytes_per_ms == prior
+
+    def test_single_chunk_pipeline_is_serial(self):
+        """chunks=1 degenerates to the serial sum of the stages."""
+        from repro.codec.stream import pipelined_latency_ms
+
+        stages = [4.0, 1.5, 9.0, 2.0]
+        assert pipelined_latency_ms(stages, 1) == pytest.approx(sum(stages))
+
+    def test_many_chunk_pipeline_approaches_bottleneck(self):
+        from repro.codec.stream import pipelined_latency_ms
+
+        stages = [4.0, 1.5, 9.0, 2.0]
+        many = pipelined_latency_ms(stages, 10_000)
+        assert many == pytest.approx(max(stages), rel=0.01)
+        assert many <= pipelined_latency_ms(stages, 1)
+
+    def test_pipelining_monotone_in_chunks(self):
+        from repro.codec.stream import pipelined_latency_ms
+
+        stages = [4.0, 1.5, 9.0, 2.0]
+        latencies = [pipelined_latency_ms(stages, k) for k in (1, 2, 4, 8, 16)]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_per_seed_jitter_determinism_with_dynamic_profile(self):
+        from repro.network.profile import PiecewiseProfile
+
+        profile = PiecewiseProfile.bandwidth_drop(
+            WIFI, start_ms=50.0, duration_ms=100.0, factor=0.3
+        )
+        a = NetworkChannel(profile, seed=11)
+        b = NetworkChannel(profile, seed=11)
+        times_a, times_b = [], []
+        for step in range(10):
+            a.advance_to(step * 30.0)
+            b.advance_to(step * 30.0)
+            times_a.append(a.transfer_time_ms(2e5))
+            times_b.append(b.transfer_time_ms(2e5))
+        assert times_a == times_b

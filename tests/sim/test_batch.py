@@ -73,6 +73,32 @@ class TestSweep:
         assert sweep.spec("local", "Doom3-L", PlatformConfig()) in specs
 
 
+class TestSweepProfiles:
+    def test_profiles_axis_crosses_platforms(self):
+        from repro.network.profile import ConstantProfile, PiecewiseProfile
+
+        drop = PiecewiseProfile.bandwidth_drop(WIFI, 100.0, 200.0, 0.2)
+        sweep = Sweep(
+            systems=("local",),
+            apps=("Doom3-L",),
+            platforms=(PlatformConfig(), PlatformConfig(network=LTE_4G)),
+            profiles=("wifi", drop),
+            n_frames=20,
+        )
+        assert len(sweep) == 2 * 2
+        networks = [spec.platform.network for spec in sweep.specs()]
+        assert networks.count(ConstantProfile(WIFI)) == 2
+        assert networks.count(drop) == 2
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep(systems=("local",), apps=("Doom3-L",), profiles=())
+
+    def test_no_profiles_keeps_platforms(self):
+        sweep = _small_sweep()
+        assert sweep.resolved_platforms() == sweep.platforms
+
+
 class TestSpecKey:
     def test_stable_and_distinct(self):
         a = RunSpec(system="qvr", app="GRID", n_frames=40)
@@ -91,6 +117,41 @@ class TestSpecKey:
         solo = RunSpec(system="qvr", app="GRID")
         shared = RunSpec(system="qvr", app="GRID", shared_clients=4)
         assert spec_key(solo) != spec_key(shared)
+
+    def test_network_profile_reaches_the_key(self):
+        from repro.network.profile import ConstantProfile, PiecewiseProfile
+
+        base = RunSpec(system="qvr", app="GRID")
+        drop = RunSpec(
+            system="qvr", app="GRID",
+            platform=PlatformConfig(
+                network=PiecewiseProfile.bandwidth_drop(WIFI, 100.0, 200.0, 0.2)
+            ),
+        )
+        wrapped = RunSpec(
+            system="qvr", app="GRID",
+            platform=PlatformConfig(network=ConstantProfile(WIFI)),
+        )
+        keys = {spec_key(base), spec_key(drop), spec_key(wrapped)}
+        assert len(keys) == 3
+
+    def test_schema_version_reaches_the_key(self, monkeypatch):
+        """Bumping the spec schema must invalidate every existing key."""
+        import repro.sim.runner as runner_module
+
+        spec = RunSpec(system="qvr", app="GRID")
+        old = spec_key(spec)
+        monkeypatch.setattr(runner_module, "_SPEC_SCHEMA_VERSION", 99)
+        assert spec_key(spec) != old
+
+    def test_package_version_reaches_the_key(self, monkeypatch):
+        """A new release must not silently reuse an old release's results."""
+        import repro.sim.runner as runner_module
+
+        spec = RunSpec(system="qvr", app="GRID")
+        old = spec_key(spec)
+        monkeypatch.setattr(runner_module, "__version__", "0.0.0-test")
+        assert spec_key(spec) != old
 
 
 class TestDeterminism:
@@ -169,6 +230,23 @@ class TestCache:
         # Every spec that completed before the failure was persisted.
         assert len(ResultCache(tmp_path)) == len(specs) - 1
 
+    def test_clear_evicts_every_entry(self, tmp_path):
+        specs = _small_sweep().specs()
+        engine = BatchEngine(cache_dir=tmp_path)
+        engine.run_specs(specs)
+        cache = ResultCache(tmp_path)
+        assert len(cache) == len(specs)
+        assert cache.clear() == len(specs)
+        assert len(cache) == 0
+        # A fresh engine re-executes everything after eviction.
+        fresh = BatchEngine(cache_dir=tmp_path)
+        fresh.run_specs(specs)
+        assert fresh.stats.executed == len(specs)
+        assert fresh.stats.cache_hits == 0
+
+    def test_clear_on_empty_cache(self, tmp_path):
+        assert ResultCache(tmp_path).clear() == 0
+
     def test_in_memory_memo_dedupes_across_batches(self):
         engine = BatchEngine()
         spec = RunSpec(system="local", app="Doom3-L", n_frames=25, warmup_frames=5)
@@ -228,3 +306,18 @@ class TestRunSpecValidation:
             degraded.network.throughput_mbps < solo.platform.network.throughput_mbps
         )
         assert degraded.server.per_gpu_speedup < solo.platform.server.per_gpu_speedup
+
+    def test_private_downlink_shares_only_the_server(self):
+        spec = RunSpec(
+            system="qvr", app="GRID", shared_clients=4, shared_downlink=False
+        )
+        derived = spec.effective_platform()
+        assert derived.network == spec.platform.network
+        assert derived.server.per_gpu_speedup < spec.platform.server.per_gpu_speedup
+
+    def test_shared_downlink_reaches_the_key(self):
+        shared = RunSpec(system="qvr", app="GRID", shared_clients=4)
+        private = RunSpec(
+            system="qvr", app="GRID", shared_clients=4, shared_downlink=False
+        )
+        assert spec_key(shared) != spec_key(private)

@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro import constants
 from repro.errors import ConfigurationError
 from repro.sim.metrics import FrameRecord, SimulationResult
 

@@ -3,7 +3,10 @@
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.network.conditions import LTE_4G, WIFI
+from repro.network.profile import ConstantProfile, PiecewiseProfile
 from repro.sim.multiuser import (
+    ClientSpec,
     MultiUserScenario,
     simulate_shared_infrastructure,
 )
@@ -37,6 +40,117 @@ class TestScenario:
             MultiUserScenario.uniform("GRID", 0)
         with pytest.raises(ConfigurationError):
             MultiUserScenario.uniform("GRID", -2)
+
+    def test_apps_surface_derives_clients(self):
+        scenario = MultiUserScenario(apps=("GRID", "Doom3-L"))
+        assert scenario.clients == (ClientSpec("GRID"), ClientSpec("Doom3-L"))
+
+    def test_clients_surface_derives_apps(self):
+        scenario = MultiUserScenario(
+            clients=(ClientSpec("GRID"), ClientSpec("Doom3-L"))
+        )
+        assert scenario.apps == ("GRID", "Doom3-L")
+
+    def test_bare_strings_promote_to_clients(self):
+        scenario = MultiUserScenario(clients=("GRID", "Doom3-L"))
+        assert scenario.clients == (ClientSpec("GRID"), ClientSpec("Doom3-L"))
+
+    def test_inconsistent_apps_and_clients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiUserScenario(apps=("GRID",), clients=(ClientSpec("Doom3-L"),))
+
+    def test_heterogeneous_factory(self):
+        scenario = MultiUserScenario.heterogeneous(
+            (ClientSpec("GRID", profile="wifi-drop"), "Doom3-L")
+        )
+        assert scenario.n_clients == 2
+        assert scenario.apps == ("GRID", "Doom3-L")
+
+
+class TestHeterogeneousClients:
+    def test_per_client_platform_and_profile_reach_specs(self):
+        throttled = PlatformConfig(network=LTE_4G).with_gpu_frequency(300.0)
+        drop = PiecewiseProfile.bandwidth_drop(WIFI, 400.0, 600.0, 0.2)
+        scenario = MultiUserScenario.heterogeneous(
+            (
+                ClientSpec("Doom3-H"),
+                ClientSpec("GRID", platform=throttled),
+                ClientSpec("HL2-L", profile=drop),
+            )
+        )
+        specs = scenario.to_specs(n_frames=50, seed=0)
+        assert specs[0].platform == PlatformConfig()
+        assert specs[1].platform == throttled
+        assert specs[2].platform.network == drop
+        assert all(spec.shared_clients == 3 for spec in specs)
+
+    def test_profile_name_coerces(self):
+        scenario = MultiUserScenario.heterogeneous(
+            (ClientSpec("GRID", profile="4g"),)
+        )
+        spec = scenario.to_specs(n_frames=50)[0]
+        assert spec.platform.network == ConstantProfile(LTE_4G)
+
+    def test_profile_overrides_client_platform_network(self):
+        throttled = PlatformConfig(network=LTE_4G)
+        client = ClientSpec("GRID", platform=throttled, profile="5g")
+        resolved = client.resolved_platform(PlatformConfig())
+        assert resolved.network.name == "Early 5G"
+        assert resolved.gpu == throttled.gpu
+
+    def test_per_client_system_override(self):
+        scenario = MultiUserScenario.heterogeneous(
+            (ClientSpec("GRID", system="local"), ClientSpec("GRID"))
+        )
+        specs = scenario.to_specs(system="qvr", n_frames=50)
+        assert [spec.system for spec in specs] == ["local", "qvr"]
+
+    def test_heterogeneous_runs_through_batch_engine_unchanged(self):
+        from repro.sim.runner import run_batch
+
+        scenario = MultiUserScenario.heterogeneous(
+            (
+                ClientSpec("Doom3-L", profile="wifi"),
+                ClientSpec("GRID", platform=PlatformConfig().with_gpu_frequency(400.0)),
+            )
+        )
+        specs = scenario.to_specs(n_frames=40, seed=1)
+        batch = run_batch(specs)
+        assert len(batch) == 2
+
+    def test_private_link_keeps_full_downlink(self):
+        """A client on its own link shares the server, not the downlink."""
+        scenario = MultiUserScenario.heterogeneous(
+            (ClientSpec("Doom3-H"), ClientSpec("GRID", profile="4g"))
+        )
+        default_spec, private_spec = scenario.to_specs(n_frames=50)
+        assert default_spec.shared_downlink
+        assert not private_spec.shared_downlink
+        private = private_spec.effective_platform()
+        # Full 4G capacity: not divided by the session's client count.
+        assert private.network.initial_conditions.throughput_mbps == (
+            LTE_4G.throughput_mbps
+        )
+        # The rendering server is still time-shared.
+        assert (
+            private.server.per_gpu_speedup
+            < PlatformConfig().server.per_gpu_speedup
+        )
+        # The default-link client still pays the downlink division.
+        shared = default_spec.effective_platform()
+        assert shared.network.throughput_mbps < WIFI.throughput_mbps
+
+    def test_uniform_scenario_shares_the_downlink(self):
+        specs = MultiUserScenario.uniform("GRID", 3).to_specs(n_frames=50)
+        assert all(spec.shared_downlink for spec in specs)
+
+    def test_heterogeneous_platforms_produce_different_outcomes(self):
+        fast = ClientSpec("GRID")
+        slow = ClientSpec("GRID", platform=PlatformConfig().with_gpu_frequency(300.0))
+        scenario = MultiUserScenario.heterogeneous((fast, slow))
+        result = simulate_shared_infrastructure(scenario, n_frames=60)
+        fast_result, slow_result = result.per_client
+        assert fast_result.mean_latency_ms != slow_result.mean_latency_ms
 
 
 class TestSpecSurface:

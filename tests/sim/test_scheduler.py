@@ -98,7 +98,7 @@ class TestFIFODispatch:
 class TestIncrementalRuns:
     def test_resources_persist_across_runs(self):
         sched = make_scheduler()
-        a = sched.submit("a", 5.0, "gpu")
+        sched.submit("a", 5.0, "gpu")
         sched.run()
         b = sched.submit("b", 1.0, "gpu")
         sched.run()
@@ -158,7 +158,7 @@ class TestZeroDurationTasks:
 
     def test_zero_duration_does_not_hold_the_resource(self):
         sched = make_scheduler()
-        a = sched.submit("a", 0.0, "gpu")
+        sched.submit("a", 0.0, "gpu")
         b = sched.submit("b", 5.0, "gpu")
         sched.run()
         assert b.start_ms == 0.0
@@ -251,7 +251,7 @@ class TestValidation:
     def test_validate_passes_on_good_schedule(self):
         sched = make_scheduler()
         a = sched.submit("a", 2.0, "cpu")
-        b = sched.submit("b", 2.0, "gpu", deps=(a,))
+        sched.submit("b", 2.0, "gpu", deps=(a,))
         sched.run()
         sched.validate()
 

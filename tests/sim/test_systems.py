@@ -7,7 +7,7 @@ import pytest
 
 from repro import constants
 from repro.errors import ConfigurationError
-from repro.network.conditions import EARLY_5G, LTE_4G, WIFI
+from repro.network.conditions import EARLY_5G, LTE_4G
 from repro.sim.metrics import paper_fps
 from repro.sim.runner import RunSpec, run, run_comparison, speedup_over
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system

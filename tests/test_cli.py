@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_client, build_parser, main
+from repro.errors import ConfigurationError
 
 
 class TestParser:
@@ -51,7 +52,9 @@ class TestExecution:
 class TestBatchCommand:
     def test_batch_defaults_to_all_sim_experiments(self):
         args = build_parser().parse_args(["batch"])
-        assert args.experiments == ["fig12", "fig13", "fig14", "fig15", "table4"]
+        assert args.experiments == [
+            "fig12", "fig13", "fig14", "fig15", "netdrop", "table4",
+        ]
         assert args.jobs == 1
         assert args.cache_dir is None
 
@@ -77,3 +80,69 @@ class TestBatchCommand:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert "0 executed, 28 cache hits" in second
+
+    def test_clear_cache_evicts_before_running(self, capsys, tmp_path):
+        argv = [
+            "batch", "--experiments", "fig13", "--frames", "40",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--clear-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 28 cached result(s)" in out
+        assert "28 executed, 0 cache hits" in out
+
+    def test_clear_cache_requires_cache_dir(self):
+        with pytest.raises(ConfigurationError):
+            main(["batch", "--experiments", "fig13", "--clear-cache"])
+
+    def test_profile_reaches_platform_experiments(self, capsys):
+        code = main(
+            ["batch", "--experiments", "fig14", "netdrop", "table4",
+             "--frames", "40", "--profile", "wifi-drop"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile=wifi-drop" in out
+        assert "skipped (no --profile support)" in out  # table4 keeps its grid
+        assert "netdrop" in out
+
+    def test_unknown_profile_rejected(self):
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            main(["batch", "--experiments", "fig14", "--profile", "warp-link"])
+
+
+class TestScenariosCommand:
+    def test_parse_client_forms(self):
+        plain = _parse_client("GRID")
+        assert plain.app == "GRID" and plain.profile is None and plain.platform is None
+        with_profile = _parse_client("Doom3-H:wifi-drop")
+        assert with_profile.profile is not None
+        full = _parse_client("HL2-L:4g:300")
+        assert full.platform.gpu.frequency_mhz == 300.0
+
+    def test_parse_client_rejects_bad_tokens(self):
+        with pytest.raises(ConfigurationError):
+            _parse_client("NotAnApp")
+        with pytest.raises(ConfigurationError):
+            _parse_client("GRID:wifi:abc")
+        with pytest.raises(ConfigurationError):
+            _parse_client("GRID:wifi:300:extra")
+
+    def test_scenarios_requires_clients(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_scenarios_command_runs(self, capsys):
+        code = main(
+            ["scenarios", "--clients", "Doom3-L:wifi", "GRID:4g:400",
+             "--frames", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous clients" in out
+        assert "Doom3-L" in out and "GRID" in out
+        assert "aggregate:" in out

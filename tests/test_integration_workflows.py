@@ -1,7 +1,6 @@
 """End-to-end workflow tests: the README and example code paths."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import (
