@@ -1,0 +1,184 @@
+"""Bench regression gate: compare a fresh BENCH_batch.json to the baseline.
+
+CI runs ``bench_batch.py`` on every PR and then this script, which fails
+the job when the batch engine's headline numbers regress against the
+committed ``BENCH_batch.json`` baseline:
+
+* ``speedup_cold`` (serial time over cold batched time) must not fall by
+  more than ``--max-speedup-regression`` (default 25%).  Both terms of
+  the ratio are measured in the *same* fresh run, so machine speed
+  cancels and the gate tracks engine overhead, not runner hardware —
+  unlike the warm-cache ratio, whose denominator is ~20 ms of cache
+  lookups and which therefore swings with absolute CPU speed;
+* ``serial_s`` (the plain one-spec-at-a-time wall time, a proxy for the
+  simulator's own speed) must not grow by more than
+  ``--max-serial-slowdown`` (default 50%).  This is an absolute time
+  compared across machines, so the generous tolerance is load-bearing:
+  it absorbs runner-hardware spread while still catching multi-x
+  simulator slowdowns.  Re-baseline (re-run ``bench_batch.py`` and
+  commit the JSON) whenever a PR legitimately moves it;
+* the warm engine must answer **every** spec from the cache
+  (``warm_cache_hits == n_specs``) and serial/batched results must stay
+  bit-identical — both deterministic, timing-free functional checks.
+
+The before/after comparison is printed as a Markdown table and appended
+to ``$GITHUB_STEP_SUMMARY`` when that file is available, so the verdict
+shows up in the job summary without digging through logs.  Only the
+standard library is required — the gate adds no dependencies to the
+benchmark job.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_batch.json fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}"
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    max_speedup_regression: float,
+    max_serial_slowdown: float,
+) -> tuple[list[list[str]], list[str]]:
+    """Build the comparison table and the list of violated limits."""
+    failures: list[str] = []
+    rows: list[list[str]] = []
+
+    base_speedup = float(baseline["speedup_cold"])
+    new_speedup = float(fresh["speedup_cold"])
+    speedup_floor = base_speedup * (1.0 - max_speedup_regression)
+    speedup_ok = new_speedup >= speedup_floor
+    rows.append(
+        [
+            "parallel speedup (serial / cold batched)",
+            f"{_fmt(base_speedup)}x",
+            f"{_fmt(new_speedup)}x",
+            f">= {_fmt(speedup_floor)}x",
+            "ok" if speedup_ok else "REGRESSED",
+        ]
+    )
+    if not speedup_ok:
+        failures.append(
+            f"parallel speedup regressed more than "
+            f"{max_speedup_regression:.0%}: {_fmt(base_speedup)}x -> "
+            f"{_fmt(new_speedup)}x (floor {_fmt(speedup_floor)}x)"
+        )
+
+    base_serial = float(baseline["serial_s"])
+    new_serial = float(fresh["serial_s"])
+    serial_ceiling = base_serial * (1.0 + max_serial_slowdown)
+    serial_ok = new_serial <= serial_ceiling
+    rows.append(
+        [
+            "serial wall time",
+            f"{_fmt(base_serial)}s",
+            f"{_fmt(new_serial)}s",
+            f"<= {_fmt(serial_ceiling)}s",
+            "ok" if serial_ok else "REGRESSED",
+        ]
+    )
+    if not serial_ok:
+        failures.append(
+            f"serial wall time grew more than {max_serial_slowdown:.0%}: "
+            f"{_fmt(base_serial)}s -> {_fmt(new_serial)}s "
+            f"(ceiling {_fmt(serial_ceiling)}s)"
+        )
+
+    # Functional (timing-free) checks: the cache must answer every spec
+    # and batched execution must stay bit-identical to serial.  Direct
+    # indexing is deliberate: a schema drift in bench_batch.py must fail
+    # this gate loudly, not degrade it to a no-op.
+    expected_hits = int(fresh["sweep"]["n_specs"])
+    warm_hits = int(fresh["warm_cache_hits"])
+    hits_ok = warm_hits == expected_hits
+    rows.append(
+        [
+            "warm cache hits",
+            str(baseline.get("warm_cache_hits", "-")),
+            str(warm_hits),
+            f"== {expected_hits}",
+            "ok" if hits_ok else "BROKEN",
+        ]
+    )
+    if not hits_ok:
+        failures.append(
+            f"warm engine answered only {warm_hits}/{expected_hits} specs "
+            "from the cache"
+        )
+    if not bool(fresh.get("bit_identical", True)):
+        failures.append("fresh run reports serial/batched result divergence")
+        rows.append(["bit identical", "true", "false", "true", "DIVERGED"])
+
+    # Informational rows (no gate): they explain a moved headline number.
+    for key, label, unit in (
+        ("parallel_cold_s", "parallel cold", "s"),
+        ("parallel_warm_s", "parallel warm (cache)", "s"),
+        ("speedup_warm", "warm speedup", "x"),
+        ("cpu_count", "cpu count", ""),
+        ("jobs", "jobs", ""),
+    ):
+        if key in baseline and key in fresh:
+            rows.append(
+                [label, f"{baseline[key]}{unit}", f"{fresh[key]}{unit}", "-", "info"]
+            )
+    return rows, failures
+
+
+def render_markdown(rows: list[list[str]], failures: list[str]) -> str:
+    lines = [
+        "### Batch-engine bench regression gate",
+        "",
+        "| metric | baseline | fresh | limit | status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    lines.append("")
+    if failures:
+        lines.append("**FAILED:**")
+        lines += [f"- {failure}" for failure in failures]
+    else:
+        lines.append("**PASSED** — no regression beyond the configured limits.")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_batch.json baseline")
+    parser.add_argument("fresh", help="freshly produced BENCH_batch.json")
+    parser.add_argument(
+        "--max-speedup-regression", type=float, default=0.25,
+        help="tolerated relative speedup loss (default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--max-serial-slowdown", type=float, default=0.50,
+        help="tolerated relative serial wall-time growth (default: 0.50 = 50%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    fresh = json.loads(Path(args.fresh).read_text())
+    rows, failures = compare(
+        baseline, fresh, args.max_speedup_regression, args.max_serial_slowdown
+    )
+    report = render_markdown(rows, failures)
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,8 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.perf_model import GPUPerfModel, RenderWorkload
 from repro.network.channel import NetworkChannel
 from repro.network.conditions import ALL_CONDITIONS, NetworkConditions, WIFI
-from repro.network.profile import PiecewiseProfile
+from repro.network.profile import PiecewiseProfile, TraceProfile
+from repro.sim.metrics import tail_fps
 from repro.sim.runner import (
     BatchEngine,
     Sweep,
@@ -64,6 +65,11 @@ __all__ = [
     "NETDROP_APPS",
     "default_netdrop_profile",
     "netdrop_adaptation",
+    "AdmissionRow",
+    "ADMISSION_APPS",
+    "ADMISSION_POLICIES",
+    "default_admission_trace",
+    "admission_scheduling",
     "overhead_analysis",
     "GPU_FREQUENCIES_MHZ",
     "SIM_EXPERIMENTS",
@@ -718,6 +724,128 @@ def netdrop_adaptation(
 
 
 # ---------------------------------------------------------------------------
+# Admission & scheduling: policy comparison on a shared session
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdmissionRow:
+    """One client of a shared session under one scheduling policy.
+
+    The testable prediction (Firefly/Coterie reasoning applied to the
+    Q-VR server): under ``deadline`` scheduling the heavy client's tail
+    frame rate inside a trace-driven bandwidth drop improves over
+    ``fair-share`` — the server boosts the client closest to missing its
+    frame deadline — while the session's mean FPS stays within noise
+    (shares are conserved, not conjured).
+    """
+
+    policy: str
+    app: str
+    mean_fps: float
+    drop_fps: float
+    drop_p99_fps: float
+    mean_e1_deg: float
+    mean_kb_per_frame: float
+
+
+#: The admission study roster: one heavy title, one light title, sharing
+#: a server and one trace-driven link.
+ADMISSION_APPS: tuple[str, ...] = ("GRID", "Doom3-L")
+
+#: Scheduling policies the admission experiment compares by default.
+#: ``weighted`` is omitted: on a roster sharing one link every client has
+#: the same instantaneous bandwidth, so its weights provably collapse to
+#: the uniform fair share — pass ``policies=(..., "weighted")`` when the
+#: roster mixes links and the comparison is informative.
+ADMISSION_POLICIES: tuple[str, ...] = ("fair-share", "deadline")
+
+
+def default_admission_trace(n_frames: int) -> "TraceProfile":
+    """A trace-driven bandwidth drop scaled to a run of ``n_frames``.
+
+    Step-trace replay semantics (the format of 4G/5G drive traces):
+    nominal Wi-Fi, a deep drop to 30 Mbps for the middle ~40% of the
+    nominal session, then recovery.
+    """
+    frame_ms = 1000.0 / constants.TARGET_FPS
+    return TraceProfile(
+        base=WIFI,
+        times_ms=(0.0, 0.3 * n_frames * frame_ms, 0.7 * n_frames * frame_ms),
+        throughput_mbps=(WIFI.throughput_mbps, 30.0, WIFI.throughput_mbps),
+        label="admission-drop",
+    )
+
+
+def _window_fps(records, start_ms: float, end_ms: float) -> tuple[float, float]:
+    """(mean FPS, p99 tail FPS) over frames displayed inside a window."""
+    times = [r.display_ms for r in records if start_ms <= r.display_ms < end_ms]
+    if len(times) < 2:
+        return float("nan"), float("nan")
+    span = times[-1] - times[0]
+    mean_fps = 1000.0 * (len(times) - 1) / span if span > 0 else float("inf")
+    return mean_fps, tail_fps(times, 99.0)
+
+
+def admission_scheduling(
+    n_frames: int = 240,
+    seed: int = 0,
+    apps: tuple[str, ...] = ADMISSION_APPS,
+    policies: tuple[str, ...] = ADMISSION_POLICIES,
+    trace: TraceProfile | None = None,
+    engine: BatchEngine | None = None,
+) -> list[AdmissionRow]:
+    """Compare server scheduling policies on one heterogeneous session.
+
+    Runs the same roster (one client per entry of ``apps``, all sharing
+    the server and one trace-driven link) under each policy, and reports
+    per-client whole-run and drop-window frame rates.  All sessions'
+    specs execute through one batch (so a parallel or caching engine
+    accelerates the grid), and fair-share expands to the exact legacy
+    specs — its rows double as the regression baseline.
+    """
+    from repro.sim.multiuser import ClientSpec, MultiUserScenario
+
+    trace = trace if trace is not None else default_admission_trace(n_frames)
+    if len(trace.times_ms) != 3:
+        raise ValueError(
+            "admission experiment needs a before/drop/after step trace "
+            f"(3 samples), got {len(trace.times_ms)}"
+        )
+    drop_start, drop_end = trace.times_ms[1], trace.times_ms[2]
+    platform = PlatformConfig(network=trace)
+    plans = {
+        policy: MultiUserScenario.heterogeneous(
+            tuple(ClientSpec(app) for app in apps),
+            platform=platform,
+            policy=policy,
+        ).plan(n_frames=n_frames, seed=seed)
+        for policy in policies
+    }
+    chosen = engine if engine is not None else default_engine()
+    batch = chosen.run_specs(
+        [spec for plan in plans.values() for spec in plan.specs]
+    )
+    rows: list[AdmissionRow] = []
+    for policy, plan in plans.items():
+        for spec in plan.specs:
+            result = batch[spec]
+            drop_fps, drop_p99 = _window_fps(result.records, drop_start, drop_end)
+            rows.append(
+                AdmissionRow(
+                    policy=policy,
+                    app=spec.app,
+                    mean_fps=result.measured_fps,
+                    drop_fps=drop_fps,
+                    drop_p99_fps=drop_p99,
+                    mean_e1_deg=result.mean_e1_deg,
+                    mean_kb_per_frame=result.mean_transmitted_bytes / 1e3,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Sec. 4.3: design overhead analysis
 # ---------------------------------------------------------------------------
 
@@ -742,4 +870,5 @@ SIM_EXPERIMENTS: dict[str, Callable[..., object]] = {
     "table4": table4_eccentricity,
     "fig15": fig15_energy,
     "netdrop": netdrop_adaptation,
+    "admission": admission_scheduling,
 }

@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     python -m repro batch --jobs 4 --cache-dir .qvr-cache
     python -m repro batch --profile wifi-drop --experiments fig12 netdrop
     python -m repro scenarios --clients Doom3-H:wifi GRID:wifi-drop:300
+    python -m repro scenarios --clients GRID Doom3-L --policy deadline
     python -m repro overheads
 
 Each subcommand prints the same ASCII tables the benchmark suite produces.
@@ -18,7 +19,9 @@ specs over a process pool and ``--cache-dir`` memoizes results on disk
 across invocations (``--clear-cache`` evicts it first).  ``--profile``
 swaps the default static network for a named dynamic profile (or a trace
 CSV path); ``scenarios`` runs a heterogeneous multi-client session where
-every client names its own ``APP[:PROFILE[:FREQ_MHZ]]``.
+every client names its own ``APP[:PROFILE[:FREQ_MHZ]]`` and ``--policy``
+selects the shared server's scheduling policy (fair-share, weighted,
+deadline — see :mod:`repro.sim.server`).
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ from repro.sim.multiuser import (
     simulate_shared_infrastructure,
 )
 from repro.sim.runner import BatchEngine, ResultCache, run_comparison, speedup_over
+from repro.sim.server import POLICY_NAMES
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES
 from repro.workloads.apps import APPS, TABLE3_ORDER
 
@@ -128,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--frames", type=int, default=200)
     scenarios.add_argument("--seed", type=int, default=0)
     scenarios.add_argument("--sharing-efficiency", type=float, default=0.9)
+    scenarios.add_argument(
+        "--policy", default="fair-share", choices=list(POLICY_NAMES),
+        help="server scheduling policy for the shared session "
+        "(default: fair-share, the uniform division)",
+    )
     _add_engine_options(scenarios)
 
     sub.add_parser("table1", help="reproduce Table 1")
@@ -287,7 +296,7 @@ def _parse_client(token: str) -> ClientSpec:
 def _cmd_scenarios(args: argparse.Namespace) -> None:
     clients = tuple(_parse_client(token) for token in args.clients)
     scenario = MultiUserScenario.heterogeneous(
-        clients, sharing_efficiency=args.sharing_efficiency
+        clients, sharing_efficiency=args.sharing_efficiency, policy=args.policy
     )
     result = simulate_shared_infrastructure(
         scenario,
@@ -296,39 +305,53 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
         system=args.system,
         engine=_engine_from(args),
     )
+    assert result.decisions is not None
+    results_by_index = dict(
+        zip((d.client_index for d in result.decisions if d.serviced),
+            result.per_client)
+    )
     rows = []
-    for client, client_result in zip(clients, result.per_client):
+    for decision, client in zip(result.decisions, clients):
         platform = client.resolved_platform(scenario.platform)
         network = platform.network
+        client_result = results_by_index.get(decision.client_index)
+        if client_result is None:
+            rows.append(
+                [client.app, getattr(network, "name", type(network).__name__),
+                 f"{platform.gpu.frequency_mhz:.0f}", decision.action,
+                 "-", "-", "-", "-"]
+            )
+            continue
         rows.append(
             [
                 client.app,
                 getattr(network, "name", type(network).__name__),
                 f"{platform.gpu.frequency_mhz:.0f}",
+                decision.action,
                 client_result.mean_e1_deg,
                 client_result.measured_fps,
                 client_result.mean_latency_ms,
-                client_result.mean_transmitted_bytes / 1e3,
                 "yes" if client_result.meets_target_fps else "no",
             ]
         )
     print(
         format_table(
             [
-                "app", "profile", "MHz", "e1 (deg)", "FPS",
-                "latency (ms)", "KB/frame", ">=90 FPS",
+                "app", "profile", "MHz", "admission", "e1 (deg)", "FPS",
+                "latency (ms)", ">=90 FPS",
             ],
             rows,
             title=(
                 f"{args.system} — {scenario.n_clients} heterogeneous clients, "
-                "shared server + downlink"
+                f"shared server + downlink, {args.policy} scheduling"
             ),
         )
     )
+    serviced = len(result.per_client)
     print(
         f"aggregate: {result.mean_fps:.1f} FPS mean, "
         f"e1 {result.mean_e1_deg:.1f} deg mean, "
-        f"{result.clients_meeting_fps}/{scenario.n_clients} clients hold 90 Hz"
+        f"{result.clients_meeting_fps}/{serviced} serviced clients hold 90 Hz"
     )
 
 

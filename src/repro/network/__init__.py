@@ -10,12 +10,14 @@ from repro.network.conditions import (
     by_name,
 )
 from repro.network.profile import (
+    AllocatedProfile,
     ConstantProfile,
     MarkovProfile,
     NetworkProfile,
     PROFILES,
     PiecewiseProfile,
     TraceProfile,
+    allocated_conditions,
     as_profile,
     profile_by_name,
     shared_conditions,
@@ -36,8 +38,10 @@ __all__ = [
     "PiecewiseProfile",
     "TraceProfile",
     "MarkovProfile",
+    "AllocatedProfile",
     "PROFILES",
     "as_profile",
     "profile_by_name",
     "shared_conditions",
+    "allocated_conditions",
 ]

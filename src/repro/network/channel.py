@@ -16,6 +16,11 @@ This module reproduces that model:
   ACK estimate the controllers watch;
 * transfers include a fixed protocol overhead and the one-way propagation
   delay is exposed separately (it belongs to the *path*, not the payload);
+* the **uplink** may be asymmetric: when
+  :attr:`~repro.network.conditions.NetworkConditions.uplink_mbps` is set,
+  pose uploads and LIWC feedback serialise at that rate
+  (:meth:`NetworkChannel.uplink_time_ms`); when unset, the request path
+  costs only propagation, as in earlier releases;
 * the channel records per-transfer observations and exposes the **ACK
   throughput estimate** that LIWC monitors ("monitor the network's ACK
   packets for assessing the remote latencies").
@@ -167,6 +172,43 @@ class NetworkChannel:
         if payload_bytes == 0:
             return 0.0
         return payload_bytes / self.mean_effective_bytes_per_ms + _TRANSFER_OVERHEAD_MS
+
+    # -- uplink ----------------------------------------------------------------
+
+    @property
+    def uplink_bytes_per_ms(self) -> float | None:
+        """Effective uplink throughput, or None when the uplink is unmodelled.
+
+        The uplink shares the path's SNR derating with the downlink; it
+        is deterministic (no per-transfer jitter draw) so enabling it
+        never perturbs the downlink's seeded jitter stream.
+        """
+        uplink_mbps = self.conditions.uplink_mbps
+        if uplink_mbps is None:
+            return None
+        return (
+            uplink_mbps
+            * 1e6
+            / constants.BITS_PER_BYTE
+            / 1000.0
+            * snr_efficiency(self.conditions.snr_db)
+        )
+
+    def uplink_time_ms(self, payload_bytes: float) -> float:
+        """One-way uplink latency of a request carrying ``payload_bytes``.
+
+        Propagation plus serialisation at the effective uplink rate (and
+        the fixed protocol overhead).  With an unmodelled uplink
+        (``uplink_mbps is None``) or an empty payload this degenerates to
+        the bare propagation delay — the legacy request-path model, so
+        existing configurations reproduce bit-identically.
+        """
+        if payload_bytes < 0:
+            raise NetworkError(f"payload must be >= 0, got {payload_bytes}")
+        throughput = self.uplink_bytes_per_ms
+        if throughput is None or payload_bytes == 0:
+            return self.one_way_ms
+        return self.one_way_ms + payload_bytes / throughput + _TRANSFER_OVERHEAD_MS
 
     @property
     def one_way_ms(self) -> float:

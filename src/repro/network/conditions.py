@@ -9,7 +9,7 @@ amplitude for the stochastic per-frame throughput model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import NetworkError
 
@@ -26,6 +26,14 @@ class NetworkConditions:
         Human-readable label used in tables.
     throughput_mbps:
         Nominal download throughput in megabits per second (Table 2).
+    uplink_mbps:
+        Nominal upload throughput in megabits per second.  Mobile access
+        links are asymmetric (the paper's Table 2 classes quote download
+        speeds only), so the uplink is modelled separately: pose uploads
+        and LIWC feedback serialise at this rate.  ``None`` keeps the
+        legacy model — an unmodelled (infinite-rate) uplink where the
+        request path costs only propagation — which preserves the exact
+        results and cache keys of earlier releases.
     propagation_ms:
         One-way propagation + stack latency to the rendering server.
     snr_db:
@@ -41,10 +49,16 @@ class NetworkConditions:
     propagation_ms: float
     snr_db: float = 20.0
     jitter_fraction: float = 0.08
+    uplink_mbps: float | None = None
 
     def __post_init__(self) -> None:
         if self.throughput_mbps <= 0:
             raise NetworkError(f"throughput must be > 0, got {self.throughput_mbps}")
+        if self.uplink_mbps is not None and self.uplink_mbps <= 0:
+            raise NetworkError(
+                f"uplink_mbps must be > 0 (or None for an unmodelled uplink), "
+                f"got {self.uplink_mbps}"
+            )
         if self.propagation_ms < 0:
             raise NetworkError(f"propagation must be >= 0, got {self.propagation_ms}")
         if self.snr_db <= 0:
@@ -53,6 +67,10 @@ class NetworkConditions:
             raise NetworkError(
                 f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
             )
+
+    def with_uplink(self, uplink_mbps: float) -> "NetworkConditions":
+        """Copy of these conditions with an asymmetric uplink rate."""
+        return replace(self, uplink_mbps=uplink_mbps)
 
 
 WIFI = NetworkConditions(name="Wi-Fi", throughput_mbps=200.0, propagation_ms=2.0)

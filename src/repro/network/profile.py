@@ -35,7 +35,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.errors import NetworkError
+from repro.errors import ConfigurationError, NetworkError
 from repro.network.conditions import LTE_4G, NetworkConditions, WIFI, by_name
 
 __all__ = [
@@ -44,7 +44,10 @@ __all__ = [
     "PiecewiseProfile",
     "TraceProfile",
     "MarkovProfile",
+    "AllocatedProfile",
+    "ShareSchedule",
     "shared_conditions",
+    "allocated_conditions",
     "as_profile",
     "profile_by_name",
     "PROFILES",
@@ -73,8 +76,40 @@ def shared_conditions(
         throughput_mbps=conditions.throughput_mbps * share,
         propagation_ms=conditions.propagation_ms,
         snr_db=conditions.snr_db,
-        jitter_fraction=min(
-            conditions.jitter_fraction * (1 + 0.1 * (n_clients - 1)), 0.5
+        jitter_fraction=_shared_jitter(conditions.jitter_fraction, n_clients),
+        uplink_mbps=(
+            conditions.uplink_mbps * share
+            if conditions.uplink_mbps is not None
+            else None
+        ),
+    )
+
+
+def _shared_jitter(jitter_fraction: float, n_clients: int) -> float:
+    """Jitter growth from ``n_clients`` interleaving their transfers."""
+    return min(jitter_fraction * (1 + 0.1 * (n_clients - 1)), 0.5)
+
+
+def allocated_conditions(
+    conditions: NetworkConditions, share: float, n_clients: int
+) -> NetworkConditions:
+    """Conditions one client observes under a *scheduled* link allocation.
+
+    Like :func:`shared_conditions` but with an explicit ``share`` of the
+    link (a policy decision rather than uniform division): throughput and
+    any modelled uplink scale by the share, while jitter grows with the
+    number of interleaved clients exactly as in the uniform model.
+    """
+    if share <= 0:
+        raise NetworkError(f"allocation share must be > 0, got {share}")
+    return replace(
+        conditions,
+        throughput_mbps=conditions.throughput_mbps * share,
+        jitter_fraction=_shared_jitter(conditions.jitter_fraction, n_clients),
+        uplink_mbps=(
+            conditions.uplink_mbps * share
+            if conditions.uplink_mbps is not None
+            else None
         ),
     )
 
@@ -425,6 +460,114 @@ class MarkovProfile(NetworkProfile):
     @property
     def initial_conditions(self) -> NetworkConditions:
         return self.good
+
+
+@dataclass(frozen=True)
+class ShareSchedule:
+    """A step schedule of resource shares: ``(start_ms, share)`` segments.
+
+    The unit the admission planner (:mod:`repro.sim.server`) emits per
+    client per resource and the frame loop samples: segments must start
+    at 0 ms, strictly increase, and carry positive shares.  Defined in
+    the network layer so :class:`AllocatedProfile` and the server share
+    one validation/lookup implementation (the server imports profiles,
+    never the reverse).
+    """
+
+    segments: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ConfigurationError("share schedule needs at least one segment")
+        normalised = tuple(
+            (float(start), float(share)) for start, share in self.segments
+        )
+        object.__setattr__(self, "segments", normalised)
+        starts = [start for start, _ in normalised]
+        if starts[0] != 0.0:
+            raise ConfigurationError(
+                f"share schedule must start at 0 ms, got {starts[0]}"
+            )
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ConfigurationError(
+                f"share-schedule starts must strictly increase: {starts}"
+            )
+        if any(share <= 0 for _, share in normalised):
+            raise ConfigurationError("share-schedule shares must be > 0")
+        # share_at sits on the per-frame hot path; precompute the bisect
+        # keys once (frozen dataclass, hence the setattr back door).
+        object.__setattr__(self, "_starts", starts)
+
+    def share_at(self, t_ms: float) -> float:
+        """The share in force at instant ``t_ms`` (first segment before 0)."""
+        index = max(bisect_right(self._starts, t_ms) - 1, 0)
+        return self.segments[index][1]
+
+
+class _AllocatedSampler:
+    """Sampler applying a share schedule on top of a base profile sampler."""
+
+    def __init__(
+        self,
+        base_sampler,
+        schedule: ShareSchedule,
+        n_clients: int,
+    ) -> None:
+        self._base = base_sampler
+        self._schedule = schedule
+        self._n_clients = n_clients
+
+    def conditions_at(self, t_ms: float) -> NetworkConditions:
+        return allocated_conditions(
+            self._base.conditions_at(t_ms),
+            self._schedule.share_at(t_ms),
+            self._n_clients,
+        )
+
+
+@dataclass(frozen=True)
+class AllocatedProfile(NetworkProfile):
+    """A base profile observed through a scheduled per-client link share.
+
+    The rendering server's admission/scheduling layer
+    (:mod:`repro.sim.server`) emits one share schedule per client of a
+    shared session: ``segments`` of ``(start_ms, share)`` pairs, each
+    share the fraction of the session link this client holds until the
+    next boundary.  Sampling composes the base profile's conditions at
+    ``t`` with the share in force at ``t``, so a policy that re-allocates
+    mid-run (e.g. deadline scheduling reacting to a trace-driven drop)
+    reaches every transfer and the ACK estimate the controllers watch.
+    """
+
+    base: NetworkProfile
+    segments: tuple[tuple[float, float], ...]
+    n_clients: int = 1
+    label: str = "allocated"
+
+    def __post_init__(self) -> None:
+        # ShareSchedule validates shape, ordering and positivity, and
+        # normalises the floats; keep its canonical form.
+        object.__setattr__(
+            self, "segments", ShareSchedule(self.segments).segments
+        )
+        if self.n_clients < 1:
+            raise NetworkError(f"n_clients must be >= 1, got {self.n_clients}")
+
+    def sampler(self, seed: int = 0) -> _AllocatedSampler:
+        return _AllocatedSampler(
+            self.base.sampler(seed),
+            ShareSchedule(self.segments),
+            self.n_clients,
+        )
+
+    def shared(self, n_clients: int, sharing_efficiency: float) -> "AllocatedProfile":
+        # The schedule already encodes this client's share of the session
+        # link; uniform re-division on top would double-count the split.
+        return self
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}:{self.label}"
 
 
 #: Named dynamic profiles the CLI accepts (``repro batch --profile``,

@@ -21,7 +21,24 @@ import numpy as np
 from repro import constants
 from repro.errors import ConfigurationError
 
-__all__ = ["FrameRecord", "SimulationResult", "paper_fps"]
+__all__ = ["FrameRecord", "SimulationResult", "paper_fps", "tail_fps"]
+
+
+def tail_fps(display_times_ms, percentile: float = 99.0) -> float:
+    """Tail frame rate of a display-completion series.
+
+    ``1000 / p``-th-percentile of the consecutive display intervals —
+    e.g. ``tail_fps(times, 99)`` is the classic "p99 FPS" (the rate of
+    the worst 1% of frames).  Shared by the steady-state result metric
+    and windowed analyses (the admission experiment's drop-window tail).
+    """
+    if len(display_times_ms) < 2:
+        return float("nan")
+    intervals = np.diff(np.asarray(display_times_ms, dtype=float))
+    worst = float(np.percentile(intervals, percentile))
+    if worst <= 0:
+        return float("inf")
+    return 1000.0 / worst
 
 
 @dataclass(frozen=True)
@@ -180,6 +197,19 @@ class SimulationResult:
         if span_ms <= 0:
             return float("inf")
         return 1000.0 * (len(steady) - 1) / span_ms
+
+    def fps_percentile(self, percentile: float = 99.0) -> float:
+        """Tail frame rate: the FPS that ``percentile``% of frames exceed.
+
+        Steady-state :func:`tail_fps` — the per-client tail metric the
+        server's deadline scheduling is designed to protect.
+        """
+        return tail_fps([r.display_ms for r in self._steady()], percentile)
+
+    @property
+    def p99_fps(self) -> float:
+        """Steady-state p99 tail FPS (see :meth:`fps_percentile`)."""
+        return self.fps_percentile(99.0)
 
     @property
     def formula_fps(self) -> float:

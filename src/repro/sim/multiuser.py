@@ -37,6 +37,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import constants
 from repro.errors import ConfigurationError
 from repro.network.conditions import NetworkConditions
 from repro.network.profile import NetworkProfile, as_profile
@@ -48,14 +49,26 @@ from repro.sim.runner import (
     default_engine,
     effective_warmup,
 )
+from repro.sim.server import (
+    AdmissionDecision,
+    ClientDemand,
+    POLICY_NAMES,
+    RenderServer,
+)
 from repro.sim.systems import PlatformConfig
 
 __all__ = [
     "ClientSpec",
     "MultiUserScenario",
     "MultiUserResult",
+    "SessionPlan",
     "simulate_shared_infrastructure",
 ]
+
+#: Planning horizon slack over the nominal 90 Hz session duration, so
+#: allocation schedules keep re-evaluating even when degraded clients run
+#: well behind the target frame rate.
+_HORIZON_SLACK = 3.0
 
 
 @dataclass(frozen=True)
@@ -79,12 +92,21 @@ class ClientSpec:
     system:
         Per-client system design override; ``None`` uses the scenario
         run's system.
+    weight:
+        Demand in client-equivalents, the admission controller's
+        currency (see :class:`~repro.sim.server.RenderServer`); 1.0 is
+        one full-demand client.
     """
 
     app: str
     platform: PlatformConfig | None = None
     profile: NetworkProfile | NetworkConditions | str | None = None
     system: str | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(f"client weight must be > 0, got {self.weight}")
 
     def resolved_platform(self, default: PlatformConfig) -> PlatformConfig:
         """The platform this client runs on, with its profile applied."""
@@ -120,14 +142,30 @@ class MultiUserScenario:
         model scheduling losses).
     clients:
         The full per-client description of the session.
+    policy:
+        Server scheduling policy (:data:`~repro.sim.server.POLICY_NAMES`).
+        The default ``"fair-share"`` reproduces the uniform division of
+        earlier releases bit-identically (same specs, same cache keys);
+        ``"weighted"`` and ``"deadline"`` plan explicit per-client share
+        schedules at admission time.
+    server:
+        The rendering server doing admission and scheduling; ``None``
+        keeps the legacy unlimited-capacity behaviour under fair-share
+        and a default :class:`~repro.sim.server.RenderServer` otherwise.
     """
 
     apps: tuple[str, ...] = ()
     platform: PlatformConfig | None = None
     sharing_efficiency: float = 0.9
     clients: tuple[ClientSpec, ...] = ()
+    policy: str = "fair-share"
+    server: RenderServer | None = None
 
     def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduling policy {self.policy!r}; known: {POLICY_NAMES}"
+            )
         if self.platform is None:
             object.__setattr__(self, "platform", PlatformConfig())
         if self.clients:
@@ -162,6 +200,8 @@ class MultiUserScenario:
         n_users: int,
         platform: PlatformConfig | None = None,
         sharing_efficiency: float = 0.9,
+        policy: str = "fair-share",
+        server: RenderServer | None = None,
     ) -> "MultiUserScenario":
         """A scenario of ``n_users`` clients all running the same title."""
         if n_users < 1:
@@ -170,6 +210,8 @@ class MultiUserScenario:
             apps=(app,) * n_users,
             platform=platform,
             sharing_efficiency=sharing_efficiency,
+            policy=policy,
+            server=server,
         )
 
     @classmethod
@@ -178,12 +220,16 @@ class MultiUserScenario:
         clients: tuple[ClientSpec | str, ...],
         platform: PlatformConfig | None = None,
         sharing_efficiency: float = 0.9,
+        policy: str = "fair-share",
+        server: RenderServer | None = None,
     ) -> "MultiUserScenario":
         """A scenario of per-client ``(app, platform, profile)`` tuples."""
         return cls(
             platform=platform,
             sharing_efficiency=sharing_efficiency,
             clients=tuple(clients),
+            policy=policy,
+            server=server,
         )
 
     @property
@@ -198,59 +244,171 @@ class MultiUserScenario:
         seed: int = 0,
         warmup_frames: int | None = None,
     ) -> tuple[RunSpec, ...]:
-        """One frozen spec per client, ready for any batch engine.
+        """One frozen spec per *serviced* client, ready for any engine.
 
         Clients receive distinct seeds (stride
         :data:`~repro.sim.runner.CLIENT_SEED_STRIDE`) so their motion and
         scene dynamics are independent; each spec carries the client's
         resolved platform/profile and the scenario's sharing parameters,
         so the engine derives the degraded per-client environment.
+
+        Under the default fair-share policy (with no explicit server)
+        every client is serviced and the expansion is byte-identical to
+        earlier releases; otherwise the admission plan may reject or
+        queue clients, whose specs are simply absent (see :meth:`plan`
+        for the full per-client verdicts).
+        """
+        return self.plan(
+            system=system, n_frames=n_frames, seed=seed, warmup_frames=warmup_frames
+        ).specs
+
+    def plan(
+        self,
+        system: str = "qvr",
+        n_frames: int = 200,
+        seed: int = 0,
+        warmup_frames: int | None = None,
+    ) -> "SessionPlan":
+        """Admit, schedule and expand the session into frozen run specs.
+
+        The legacy fair-share path (no explicit server) admits everyone
+        and emits exactly the specs of earlier releases.  Any other
+        configuration runs the full server pipeline: per-client demand
+        estimation, admission (reject/queue/degrade on oversubscription)
+        and policy scheduling, whose share schedules ride inside the
+        specs so execution stays deterministic and cacheable.
         """
         warmup = (
             effective_warmup(n_frames) if warmup_frames is None else warmup_frames
         )
         assert self.platform is not None
         default_network = self.platform.network
-        specs = []
-        for client_index, client in enumerate(self.clients):
-            resolved = client.resolved_platform(self.platform)
-            specs.append(
-                RunSpec(
-                    system=client.system if client.system is not None else system,
-                    app=client.app,
-                    platform=resolved,
-                    n_frames=n_frames,
-                    seed=seed + CLIENT_SEED_STRIDE * client_index,
-                    warmup_frames=warmup,
-                    shared_clients=self.n_clients,
-                    sharing_efficiency=self.sharing_efficiency,
-                    # A client on its own link shares the server but not
-                    # the session downlink.
-                    shared_downlink=resolved.network == default_network,
-                )
+        resolved = [
+            client.resolved_platform(self.platform) for client in self.clients
+        ]
+        seeds = [
+            seed + CLIENT_SEED_STRIDE * index for index in range(self.n_clients)
+        ]
+
+        def base_spec(index: int, **overrides) -> RunSpec:
+            client = self.clients[index]
+            kwargs = dict(
+                system=client.system if client.system is not None else system,
+                app=client.app,
+                platform=resolved[index],
+                n_frames=n_frames,
+                seed=seeds[index],
+                warmup_frames=warmup,
+                shared_clients=self.n_clients,
+                sharing_efficiency=self.sharing_efficiency,
+                # A client on its own link shares the server but not
+                # the session downlink.
+                shared_downlink=resolved[index].network == default_network,
             )
-        return tuple(specs)
+            kwargs.update(overrides)
+            return RunSpec(**kwargs)
+
+        if self.policy == "fair-share" and self.server is None:
+            specs = tuple(base_spec(index) for index in range(self.n_clients))
+            decisions = tuple(
+                AdmissionDecision(index, "admit") for index in range(self.n_clients)
+            )
+            return SessionPlan(decisions=decisions, specs=specs)
+
+        server = self.server if self.server is not None else RenderServer()
+        demands = tuple(
+            ClientDemand.estimate(
+                app=client.app,
+                profile=resolved[index].network,
+                # The allocation planner samples the profile with the
+                # channel's seed, so Markov links replay the same state
+                # sequence the run will observe.
+                seed=seeds[index] + 7,
+                weight=client.weight,
+                server=server.config,
+            )
+            for index, client in enumerate(self.clients)
+        )
+        decisions = server.admit(demands)
+        serviced = [d.client_index for d in decisions if d.serviced]
+        horizon_ms = n_frames * constants.FRAME_BUDGET_MS * _HORIZON_SLACK
+        allocations = server.allocate(
+            tuple(demands[i] for i in serviced),
+            self.policy,
+            horizon_ms=horizon_ms,
+            sharing_efficiency=self.sharing_efficiency,
+            service_levels=tuple(
+                d.service_level for d in decisions if d.serviced
+            ),
+        )
+        specs = tuple(
+            base_spec(
+                index,
+                policy=self.policy,
+                # Rejected/queued clients transmit nothing: only the
+                # serviced roster contends (shares, jitter growth).
+                shared_clients=max(len(serviced), 1),
+                server_allocation=allocation.server.segments,
+                downlink_allocation=(
+                    allocation.downlink.segments
+                    if resolved[index].network == default_network
+                    else None
+                ),
+            )
+            for index, allocation in zip(serviced, allocations)
+        )
+        return SessionPlan(decisions=decisions, specs=specs)
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """The admission controller's output for one session.
+
+    ``decisions`` covers every client in session order; ``specs`` holds
+    one frozen run spec per *serviced* client (admitted or degraded), in
+    the same order — rejected and queued clients run nothing.
+    """
+
+    decisions: tuple[AdmissionDecision, ...]
+    specs: tuple[RunSpec, ...]
+
+    @property
+    def serviced_indices(self) -> tuple[int, ...]:
+        """Session indices of the clients that actually run."""
+        return tuple(d.client_index for d in self.decisions if d.serviced)
 
 
 @dataclass(frozen=True)
 class MultiUserResult:
-    """Per-client results plus aggregate statistics."""
+    """Per-client results plus aggregate statistics.
+
+    ``per_client`` aligns with the session's *serviced* clients (see
+    ``decisions`` when an admission controller turned clients away; the
+    default fair-share session services everyone).
+    """
 
     per_client: tuple[SimulationResult, ...]
+    decisions: tuple[AdmissionDecision, ...] | None = None
 
     @property
     def mean_fps(self) -> float:
         """Average per-client frame rate."""
+        if not self.per_client:
+            return float("nan")
         return float(np.mean([r.measured_fps for r in self.per_client]))
 
     @property
     def mean_e1_deg(self) -> float:
         """Average steady-state eccentricity across clients."""
+        if not self.per_client:
+            return float("nan")
         return float(np.mean([r.mean_e1_deg for r in self.per_client]))
 
     @property
     def mean_latency_ms(self) -> float:
         """Average end-to-end latency across clients."""
+        if not self.per_client:
+            return float("nan")
         return float(np.mean([r.mean_latency_ms for r in self.per_client]))
 
     @property
@@ -271,9 +429,14 @@ def simulate_shared_infrastructure(
     The scenario expands to per-client :class:`RunSpec` values and runs
     through the batch engine (the caller's, or the default serial one),
     so a parallel or caching engine accelerates multi-user studies the
-    same way it accelerates figure sweeps.
+    same way it accelerates figure sweeps.  Clients the admission
+    controller rejected or queued contribute no result; their verdicts
+    are reported on the returned :attr:`MultiUserResult.decisions`.
     """
-    specs = scenario.to_specs(system=system, n_frames=n_frames, seed=seed)
+    plan = scenario.plan(system=system, n_frames=n_frames, seed=seed)
     chosen = engine if engine is not None else default_engine()
-    batch = chosen.run_specs(specs)
-    return MultiUserResult(per_client=tuple(batch[spec] for spec in specs))
+    batch = chosen.run_specs(plan.specs)
+    return MultiUserResult(
+        per_client=tuple(batch[spec] for spec in plan.specs),
+        decisions=plan.decisions,
+    )

@@ -38,8 +38,14 @@ from typing import Iterable, Iterator
 from repro._version import __version__
 from repro.errors import ConfigurationError
 from repro.network.conditions import NetworkConditions
-from repro.network.profile import NetworkProfile, as_profile, shared_conditions
+from repro.network.profile import (
+    AllocatedProfile,
+    NetworkProfile,
+    as_profile,
+    shared_conditions,
+)
 from repro.sim.metrics import SimulationResult
+from repro.sim.server import POLICY_NAMES, ShareSchedule
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system
 from repro.workloads.apps import VRApp, get_app
 
@@ -96,6 +102,16 @@ class RunSpec:
     scopes the network part of that degradation: a heterogeneous client
     that brings its own private link (a per-client profile) still shares
     the rendering server but keeps its full link capacity.
+
+    ``policy`` names the server scheduling policy the session ran under
+    (see :mod:`repro.sim.server`).  Under the default ``"fair-share"``
+    the uniform division above applies; other policies attach explicit
+    share *schedules*: ``server_allocation`` scales the rendering
+    server's throughput over time and ``downlink_allocation`` scales the
+    shared link, both as ``(start_ms, share)`` segments emitted by the
+    admission planner.  The neutral values (fair-share, no schedules)
+    hash exactly as specs did before these fields existed, so published
+    cache entries keep hitting.
     """
 
     system: str
@@ -107,6 +123,9 @@ class RunSpec:
     shared_clients: int = 1
     sharing_efficiency: float = 0.9
     shared_downlink: bool = True
+    policy: str = "fair-share"
+    server_allocation: tuple[tuple[float, float], ...] | None = None
+    downlink_allocation: tuple[tuple[float, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.system.lower() not in SYSTEM_NAMES:
@@ -126,6 +145,31 @@ class RunSpec:
             raise ConfigurationError("shared_clients must be >= 1")
         if not 0 < self.sharing_efficiency <= 1:
             raise ConfigurationError("sharing_efficiency must be in (0, 1]")
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduling policy {self.policy!r}; known: {POLICY_NAMES}"
+            )
+        for name in ("server_allocation", "downlink_allocation"):
+            schedule = getattr(self, name)
+            if schedule is not None:
+                # ShareSchedule validates shape, ordering and positivity,
+                # so malformed schedules fail here rather than mid-run.
+                ShareSchedule(schedule)
+        if self.downlink_allocation is not None and self.server_allocation is None:
+            raise ConfigurationError(
+                "downlink_allocation requires a server_allocation (schedules "
+                "are emitted together by the admission planner)"
+            )
+        if (
+            self.server_allocation is not None
+            and self.shared_downlink
+            and self.downlink_allocation is None
+        ):
+            raise ConfigurationError(
+                "a scheduled spec on the shared downlink needs a "
+                "downlink_allocation too (the planner emits both schedules "
+                "together); use shared_downlink=False for a private link"
+            )
 
     def effective_platform(self) -> PlatformConfig:
         """The platform this client actually observes.
@@ -135,12 +179,31 @@ class RunSpec:
         downlink divide across clients (statistical-multiplexing losses
         modelled by ``sharing_efficiency``) and jitter grows with the
         number of interleaved transfers.
+
+        A spec carrying explicit allocation schedules (a non-fair-share
+        session plan) skips the uniform division: the downlink schedule
+        wraps the network in an
+        :class:`~repro.network.profile.AllocatedProfile` and the server
+        schedule rides on the platform for the frame loop to sample.
         """
         n = self.shared_clients
-        if n == 1:
-            return self.platform
-        share = 1.0 / (n * self.sharing_efficiency)
         base = self.platform
+        if self.server_allocation is not None:
+            if self.shared_downlink and self.downlink_allocation is not None:
+                scheduled: NetworkConditions | NetworkProfile = AllocatedProfile(
+                    base=as_profile(base.network),
+                    segments=self.downlink_allocation,
+                    n_clients=n,
+                    label=self.policy,
+                )
+            else:
+                scheduled = base.network
+            return replace(
+                base, network=scheduled, server_schedule=self.server_allocation
+            )
+        if n == 1:
+            return base
+        share = 1.0 / (n * self.sharing_efficiency)
         if not self.shared_downlink:
             shared_network: NetworkConditions | NetworkProfile = base.network
         elif isinstance(base.network, NetworkProfile):
@@ -182,6 +245,15 @@ class Sweep:
     names — see :func:`~repro.network.profile.as_profile`), replacing the
     platform's network, so one sweep covers the same hardware under many
     link dynamics.
+
+    ``policies`` adds a scheduling-policy axis (see
+    :mod:`repro.sim.server`): each grid point is stamped with each policy
+    name.  A sweep describes a *uniform* roster (``shared_clients``
+    identical clients), for which every policy allocates the same equal
+    shares as fair-share — so the axis exercises policy plumbing and
+    separates cache keys without changing uniform-roster results;
+    heterogeneous rosters where policies truly diverge are expressed via
+    :class:`~repro.sim.multiuser.MultiUserScenario`.
     """
 
     systems: tuple[str, ...]
@@ -193,13 +265,15 @@ class Sweep:
     shared_clients: int = 1
     sharing_efficiency: float = 0.9
     profiles: tuple[NetworkProfile | NetworkConditions | str, ...] | None = None
+    policies: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         for name in ("systems", "apps", "platforms", "seeds"):
             if not getattr(self, name):
                 raise ConfigurationError(f"sweep dimension {name!r} is empty")
-        if self.profiles is not None and not self.profiles:
-            raise ConfigurationError("sweep dimension 'profiles' is empty")
+        for name in ("profiles", "policies"):
+            if getattr(self, name) is not None and not getattr(self, name):
+                raise ConfigurationError(f"sweep dimension {name!r} is empty")
 
     def resolved_platforms(self) -> tuple[PlatformConfig, ...]:
         """The platform axis after crossing with the profile axis."""
@@ -211,16 +285,26 @@ class Sweep:
             for profile in self.profiles
         )
 
+    def resolved_policies(self) -> tuple[str, ...]:
+        """The policy axis (the fair-share default when not swept)."""
+        return self.policies if self.policies is not None else ("fair-share",)
+
     def __len__(self) -> int:
         return (
             len(self.resolved_platforms())
             * len(self.systems)
             * len(self.apps)
             * len(self.seeds)
+            * len(self.resolved_policies())
         )
 
     def spec(
-        self, system: str, app: str, platform: PlatformConfig, seed: int = 0
+        self,
+        system: str,
+        app: str,
+        platform: PlatformConfig,
+        seed: int = 0,
+        policy: str = "fair-share",
     ) -> RunSpec:
         """The spec of one grid point (for indexing into batch results)."""
         warmup = (
@@ -237,14 +321,19 @@ class Sweep:
             warmup_frames=warmup,
             shared_clients=self.shared_clients,
             sharing_efficiency=self.sharing_efficiency,
+            policy=policy,
         )
 
     def specs(self) -> tuple[RunSpec, ...]:
         """Expand the full grid, in deterministic iteration order."""
         return tuple(
-            self.spec(system, app, platform, seed)
-            for platform, system, app, seed in itertools.product(
-                self.resolved_platforms(), self.systems, self.apps, self.seeds
+            self.spec(system, app, platform, seed, policy)
+            for platform, system, app, seed, policy in itertools.product(
+                self.resolved_platforms(),
+                self.systems,
+                self.apps,
+                self.seeds,
+                self.resolved_policies(),
             )
         )
 
@@ -254,17 +343,42 @@ class Sweep:
 # ---------------------------------------------------------------------------
 
 
+#: Fields added *after* a spec schema freeze, with the neutral value that
+#: preserves pre-existing behaviour.  A field still holding its neutral
+#: value is omitted from the canonical form, so specs that never touch
+#: the new feature hash exactly as they did before the field existed —
+#: old cache entries keep hitting without a schema-version bump.
+#: (v2 additions: scheduling policy + allocation schedules on RunSpec,
+#: the server schedule on PlatformConfig, the asymmetric uplink on
+#: NetworkConditions.)
+_NEUTRAL_FIELDS: dict[str, dict[str, object]] = {
+    "RunSpec": {
+        "policy": "fair-share",
+        "server_allocation": None,
+        "downlink_allocation": None,
+    },
+    "PlatformConfig": {"server_schedule": None},
+    "NetworkConditions": {"uplink_mbps": None},
+}
+
+
 def _canonical(value: object) -> object:
     """Recursively convert a spec value into a canonical JSON-able form.
 
     Floats are rendered with ``float.hex`` so the key captures the exact
     bit pattern; dataclasses carry their type name so two config classes
-    with coincidentally equal fields cannot collide.
+    with coincidentally equal fields cannot collide.  Post-freeze fields
+    still holding their legacy-neutral value are omitted (see
+    :data:`_NEUTRAL_FIELDS`), keeping published cache keys stable.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         out: dict[str, object] = {"__type__": type(value).__name__}
+        neutral = _NEUTRAL_FIELDS.get(type(value).__name__, {})
         for f in dataclasses.fields(value):
-            out[f.name] = _canonical(getattr(value, f.name))
+            item = getattr(value, f.name)
+            if f.name in neutral and item == neutral[f.name]:
+                continue
+            out[f.name] = _canonical(item)
         return out
     if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
         return value

@@ -62,11 +62,13 @@ from repro.network.profile import NetworkProfile
 from repro.sim import resources as R
 from repro.sim.metrics import FrameRecord, SimulationResult
 from repro.sim.scheduler import Task, TaskGraphScheduler
+from repro.sim.server import ShareSchedule
 from repro.workloads.apps import VRApp
 from repro.workloads.generator import FrameWorkload, WorkloadGenerator
 
 __all__ = [
     "PlatformConfig",
+    "POSE_UPLOAD_BYTES",
     "VRSystem",
     "LocalOnlySystem",
     "RemoteOnlySystem",
@@ -88,6 +90,12 @@ LIWC_SELECT_MS = 0.001
 #: Frames kept in flight by the pacing window (double buffering).
 _PACING_WINDOW = 2
 
+#: Uplink payload of one remote render request: 6-DoF pose, gaze vector,
+#: eccentricity decision and timestamps.  Serialises at the link's uplink
+#: rate when :attr:`~repro.network.conditions.NetworkConditions.uplink_mbps`
+#: is modelled; costs only propagation otherwise (the legacy model).
+POSE_UPLOAD_BYTES = 64.0
+
 
 @dataclass(frozen=True)
 class PlatformConfig:
@@ -97,6 +105,11 @@ class PlatformConfig:
     Table 2 presets, constant for the whole run) or a time-varying
     :class:`~repro.network.profile.NetworkProfile`; the channel samples
     it as the frame loop advances.
+
+    ``server_schedule`` is this client's scheduled share of the rendering
+    server over simulation time — ``(start_ms, share)`` segments emitted
+    by the admission planner (:mod:`repro.sim.server`).  ``None`` (the
+    default) means the full configured server throughput, as before.
     """
 
     gpu: GPUConfig = field(default_factory=GPUConfig)
@@ -105,10 +118,14 @@ class PlatformConfig:
     codec: H264Model = field(default_factory=H264Model)
     uca: UCAConfig = field(default_factory=UCAConfig)
     stream_chunks: int = DEFAULT_CHUNKS
+    server_schedule: tuple[tuple[float, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.stream_chunks < 1:
             raise ConfigurationError("stream_chunks must be >= 1")
+        if self.server_schedule is not None:
+            # ShareSchedule validates shape, ordering and positivity.
+            ShareSchedule(self.server_schedule)
 
     def with_gpu_frequency(self, frequency_mhz: float) -> "PlatformConfig":
         """Copy of this platform at another local GPU/UCA clock."""
@@ -133,6 +150,11 @@ class VRSystem(ABC):
         self.channel = NetworkChannel(self.platform.network, seed=seed + 7)
         self.codec = self.platform.codec
         self.display = DisplayGeometry(app.width_px, app.height_px)
+        self.server_schedule = (
+            ShareSchedule(self.platform.server_schedule)
+            if self.platform.server_schedule is not None
+            else None
+        )
 
     # -- public API -----------------------------------------------------------------
 
@@ -168,6 +190,23 @@ class VRSystem(ABC):
         ls = scheduler.submit(f"f{index}:LS", LS_MS, R.CPU, deps=(cl,))
         return cl, ls
 
+    def _server_share(self) -> float:
+        """This client's scheduled share of the server at the current instant."""
+        if self.server_schedule is None:
+            return 1.0
+        return self.server_schedule.share_at(self.channel.now_ms)
+
+    def _remote_render_ms(self, workload) -> float:
+        """Server render time under the client's current scheduled share.
+
+        The MCM GPU array is time-shared: a client holding share ``s`` of
+        the server sees its remote renders stretched by ``1/s``.  Without
+        a schedule the full configured throughput applies (fair-share
+        sessions encode their uniform division in the platform's server
+        config instead, exactly as before).
+        """
+        return self.remote.render_time_ms(workload) / self._server_share()
+
     def _remote_chain(
         self,
         scheduler: TaskGraphScheduler,
@@ -181,14 +220,18 @@ class VRSystem(ABC):
     ) -> tuple[Task, Task]:
         """Submit the chunk-pipelined remote path; returns (net, vd) tasks.
 
-        The request travels one propagation delay; the radio transfer
+        The request travels one uplink leg (propagation, plus pose-upload
+        serialisation when the uplink is modelled); the radio transfer
         starts after the first chunk has rendered+encoded; the decode
         task models the tail chunk (full decode occupancy is reported in
         the frame record, not on the critical path).
         """
         chunks = self.platform.stream_chunks
         up = scheduler.submit(
-            f"f{index}:up{label}", self.channel.one_way_ms, None, deps=(issue,)
+            f"f{index}:up{label}",
+            self.channel.uplink_time_ms(POSE_UPLOAD_BYTES),
+            None,
+            deps=(issue,),
         )
         rr = scheduler.submit(f"f{index}:RR{label}", render_ms, R.REMOTE_GPU, deps=(up,))
         scheduler.submit(f"f{index}:ENC{label}", encode_ms, R.ENCODER, deps=(rr,))
@@ -211,11 +254,12 @@ class VRSystem(ABC):
     ) -> float:
         """Isolated (serial-path) latency of one remote fetch.
 
-        One-way propagation plus the chunk-pipelined completion time of
-        the render/encode/transmit/decode stages — the quantity the
+        One uplink leg (propagation plus pose-upload serialisation when
+        the uplink is modelled) plus the chunk-pipelined completion time
+        of the render/encode/transmit/decode stages — the quantity the
         paper's latency breakdowns stack.
         """
-        return self.channel.one_way_ms + pipelined_latency_ms(
+        return self.channel.uplink_time_ms(POSE_UPLOAD_BYTES) + pipelined_latency_ms(
             [render_ms, encode_ms, transmit_ms, decode_ms],
             self.platform.stream_chunks,
         )
@@ -297,7 +341,7 @@ class RemoteOnlySystem(VRSystem):
         for wl in workloads:
             cl, ls = self._frontend(scheduler, wl.index, pace)
             pixels = self.app.pixels_per_frame
-            render_ms = self.remote.render_time_ms(wl.full)
+            render_ms = self._remote_render_ms(wl.full)
             encode_ms = self.remote.encode_time_ms(pixels)
             payload = self.codec.encode(pixels, wl.content_complexity).payload_bytes
             transmit_ms = self.channel.transfer_time_ms(payload)
@@ -466,7 +510,7 @@ class StaticCollaborativeSystem(VRSystem):
         bg_wl = wl.full.scaled(
             fragment_scale=bg_fraction, vertex_scale=bg_fraction, batch_scale=bg_fraction
         )
-        render_ms = self.remote.render_time_ms(bg_wl)
+        render_ms = self._remote_render_ms(bg_wl)
         encode_ms = self.remote.encode_time_ms(pixels)
         colour = self.codec.encode(pixels, wl.content_complexity).payload_bytes
         # The depth map needed for composition travels at half
@@ -561,7 +605,7 @@ class CollaborativeFoveatedSystem(VRSystem):
                 wl.full, e1, wl.motion.gaze, wl.content_complexity
             )
             local_ms = self.mobile.render_time_ms(part.local)
-            rr_ms = self.remote.render_time_ms(part.remote)
+            rr_ms = self._remote_render_ms(part.remote)
             enc_ms = self.remote.encode_time_ms(part.plan.periphery_pixels)
             transmit_ms = self.channel.transfer_time_ms(part.transmitted_bytes)
             decode_ms = self.codec.decode_time_ms(part.plan.periphery_pixels)

@@ -119,7 +119,7 @@ class TestOverheads:
 class TestBatchEngineRouting:
     def test_sim_experiments_registry_is_complete(self):
         assert set(SIM_EXPERIMENTS) == {
-            "fig12", "fig13", "fig14", "table4", "fig15", "netdrop",
+            "fig12", "fig13", "fig14", "table4", "fig15", "netdrop", "admission",
         }
 
     def test_table4_and_fig15_share_their_qvr_grid(self):

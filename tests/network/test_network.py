@@ -202,3 +202,75 @@ class TestChannelEdgeCases:
             times_a.append(a.transfer_time_ms(2e5))
             times_b.append(b.transfer_time_ms(2e5))
         assert times_a == times_b
+
+
+class TestUplink:
+    """Asymmetric uplink modelling (pose upload / LIWC feedback cost)."""
+
+    def test_unmodelled_uplink_costs_only_propagation(self):
+        channel = NetworkChannel(WIFI, seed=0)
+        assert channel.uplink_bytes_per_ms is None
+        assert channel.uplink_time_ms(64.0) == WIFI.propagation_ms
+
+    def test_modelled_uplink_adds_serialisation(self):
+        channel = NetworkChannel(WIFI.with_uplink(2.0), seed=0)
+        assert channel.uplink_time_ms(1e5) > WIFI.propagation_ms
+        # Serialisation grows with the payload.
+        assert channel.uplink_time_ms(2e5) > channel.uplink_time_ms(1e5)
+
+    def test_zero_uplink_is_rejected(self):
+        """The degenerate uplink=0 link is a configuration error."""
+        with pytest.raises(NetworkError):
+            WIFI.with_uplink(0.0)
+        with pytest.raises(NetworkError):
+            WIFI.with_uplink(-5.0)
+
+    def test_huge_uplink_degenerates_to_the_legacy_model(self):
+        """uplink >> downlink: serialisation vanishes into propagation."""
+        legacy = NetworkChannel(WIFI, seed=0)
+        huge = NetworkChannel(WIFI.with_uplink(1e9), seed=0)
+        assert huge.uplink_time_ms(64.0) == pytest.approx(
+            legacy.uplink_time_ms(64.0), abs=0.3
+        )
+
+    def test_empty_payload_costs_propagation_even_when_modelled(self):
+        channel = NetworkChannel(WIFI.with_uplink(10.0), seed=0)
+        assert channel.uplink_time_ms(0.0) == WIFI.propagation_ms
+
+    def test_negative_payload_rejected(self):
+        channel = NetworkChannel(WIFI.with_uplink(10.0), seed=0)
+        with pytest.raises(NetworkError):
+            channel.uplink_time_ms(-1.0)
+
+    def test_uplink_does_not_perturb_downlink_jitter_stream(self):
+        """Enabling the uplink must not consume downlink RNG draws."""
+        plain = NetworkChannel(WIFI, seed=3)
+        asymmetric = NetworkChannel(WIFI.with_uplink(5.0), seed=3)
+        asymmetric.uplink_time_ms(1e4)
+        downs_plain = [plain.transfer_time_ms(1e5) for _ in range(5)]
+        downs_asym = [asymmetric.transfer_time_ms(1e5) for _ in range(5)]
+        assert downs_plain == downs_asym
+
+    def test_shared_conditions_divide_the_uplink_too(self):
+        from repro.network.profile import shared_conditions
+
+        shared = shared_conditions(WIFI.with_uplink(40.0), 4, 1.0)
+        assert shared.uplink_mbps == pytest.approx(10.0)
+        # Unmodelled uplinks stay unmodelled.
+        assert shared_conditions(WIFI, 4, 1.0).uplink_mbps is None
+
+    def test_uplink_reaches_the_remote_request_path(self):
+        """A modelled slow uplink lengthens remote-system latency."""
+        from repro.sim.runner import RunSpec, run
+        from repro.sim.systems import PlatformConfig
+
+        fast = run(RunSpec(system="remote", app="Doom3-L", n_frames=40))
+        slow = run(
+            RunSpec(
+                system="remote",
+                app="Doom3-L",
+                n_frames=40,
+                platform=PlatformConfig(network=WIFI.with_uplink(0.5)),
+            )
+        )
+        assert slow.mean_latency_ms > fast.mean_latency_ms

@@ -120,3 +120,50 @@ class TestSimulationResult:
         ]
         result = SimulationResult("x", "y", records, warmup_frames=0)
         assert result.drop_rate == pytest.approx(0.25)
+
+
+class TestTailFps:
+    def _result(self, intervals, warmup=0):
+        times, t = [], 0.0
+        for interval in [0.0, *intervals]:
+            t += interval
+            times.append(t)
+        return SimulationResult(
+            system="qvr",
+            app="GRID",
+            records=[record(i, t - 5.0, t) for i, t in enumerate(times)],
+            warmup_frames=warmup,
+        )
+
+    def test_tail_fps_uses_the_worst_interval(self):
+        from repro.sim.metrics import tail_fps
+
+        # 99th percentile of [10, 10, 40] ~ the 40 ms hitch.
+        assert tail_fps([0.0, 10.0, 20.0, 60.0]) == pytest.approx(
+            1000.0 / 39.4, rel=0.02
+        )
+
+    def test_tail_fps_degenerate_series(self):
+        from repro.sim.metrics import tail_fps
+
+        assert math.isnan(tail_fps([]))
+        assert math.isnan(tail_fps([5.0]))
+        assert tail_fps([1.0, 1.0]) == float("inf")
+
+    def test_p99_below_mean_fps_with_a_hitch(self):
+        result = self._result([10.0] * 50 + [50.0])
+        assert result.p99_fps < result.measured_fps
+        assert result.p99_fps == pytest.approx(result.fps_percentile(99.0))
+
+    def test_uniform_intervals_make_p99_equal_mean(self):
+        result = self._result([10.0] * 30)
+        assert result.p99_fps == pytest.approx(result.measured_fps)
+        assert result.p99_fps == pytest.approx(100.0)
+
+    def test_percentile_respects_warmup(self):
+        slow_start = self._result([100.0, 100.0] + [10.0] * 30, warmup=3)
+        assert slow_start.fps_percentile(99.0) == pytest.approx(100.0)
+
+    def test_too_few_steady_frames_is_nan(self):
+        result = self._result([10.0], warmup=1)
+        assert math.isnan(result.p99_fps)

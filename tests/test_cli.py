@@ -53,7 +53,7 @@ class TestBatchCommand:
     def test_batch_defaults_to_all_sim_experiments(self):
         args = build_parser().parse_args(["batch"])
         assert args.experiments == [
-            "fig12", "fig13", "fig14", "fig15", "netdrop", "table4",
+            "admission", "fig12", "fig13", "fig14", "fig15", "netdrop", "table4",
         ]
         assert args.jobs == 1
         assert args.cache_dir is None
