@@ -17,7 +17,10 @@ functions for the ``repro batch`` CLI and the benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # runtime imports stay lazy at the call sites
+    from repro.sim.session import Session
 
 import numpy as np
 
@@ -31,7 +34,7 @@ from repro.gpu.perf_model import GPUPerfModel, RenderWorkload
 from repro.network.channel import NetworkChannel
 from repro.network.conditions import ALL_CONDITIONS, NetworkConditions, WIFI
 from repro.network.profile import PiecewiseProfile, TraceProfile
-from repro.sim.metrics import tail_fps
+from repro.sim.metrics import window_stats
 from repro.sim.runner import (
     BatchEngine,
     Sweep,
@@ -70,6 +73,10 @@ __all__ = [
     "ADMISSION_POLICIES",
     "default_admission_trace",
     "admission_scheduling",
+    "ChurnRow",
+    "CHURN_POLICIES",
+    "default_churn_session",
+    "session_churn",
     "overhead_analysis",
     "GPU_FREQUENCIES_MHZ",
     "SIM_EXPERIMENTS",
@@ -779,12 +786,8 @@ def default_admission_trace(n_frames: int) -> "TraceProfile":
 
 def _window_fps(records, start_ms: float, end_ms: float) -> tuple[float, float]:
     """(mean FPS, p99 tail FPS) over frames displayed inside a window."""
-    times = [r.display_ms for r in records if start_ms <= r.display_ms < end_ms]
-    if len(times) < 2:
-        return float("nan"), float("nan")
-    span = times[-1] - times[0]
-    mean_fps = 1000.0 * (len(times) - 1) / span if span > 0 else float("inf")
-    return mean_fps, tail_fps(times, 99.0)
+    stats = window_stats(records, start_ms, end_ms)
+    return stats.mean_fps, stats.p99_fps
 
 
 def admission_scheduling(
@@ -846,6 +849,145 @@ def admission_scheduling(
 
 
 # ---------------------------------------------------------------------------
+# Session churn: online re-admission and late-start queue promotion
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnRow:
+    """One client of an event-driven session under one scheduling policy.
+
+    The testable prediction (the collaborative-VR survey literature's
+    churn workload applied to the Q-VR server): a client that arrives
+    mid-session while the server is full **queues, then genuinely starts
+    late** — promoted into the capacity a departing client frees, with a
+    nonzero ``start_ms`` and nonzero rendered frames — and under
+    ``deadline`` scheduling the re-admission does less tail-FPS damage
+    to the remaining incumbent inside the contention/drop window than
+    under ``fair-share`` (the server boosts the client closest to
+    missing its frame deadline instead of splitting evenly).
+    """
+
+    policy: str
+    client: int
+    app: str
+    role: str
+    joined_ms: float
+    start_ms: float
+    frames: int
+    mean_fps: float
+    window_p99_fps: float
+
+
+#: Scheduling policies the churn experiment compares by default.
+CHURN_POLICIES: tuple[str, ...] = ("fair-share", "deadline")
+
+#: Session-relative instants of the canonical churn script: a third
+#: client joins (and queues) at 20% of the nominal session, the light
+#: incumbent leaves at 40% (freeing the capacity the joiner takes), and
+#: the trace-driven link drop spans [30%, 70%).
+_CHURN_JOIN_FRACTION = 0.2
+_CHURN_LEAVE_FRACTION = 0.4
+
+
+def default_churn_session(
+    n_frames: int,
+    policy: str = "fair-share",
+    trace: TraceProfile | None = None,
+) -> "Session":
+    """The canonical churn session scaled to a run of ``n_frames``.
+
+    Two incumbents (heavy GRID + light Doom3-L) fill a two-client-
+    equivalent server in queue mode; a third client joins mid-session
+    and must wait until the light incumbent departs.
+    """
+    from repro.sim.multiuser import ClientSpec
+    from repro.sim.server import RenderServer
+    from repro.sim.session import Join, Leave, Session
+
+    trace = trace if trace is not None else default_admission_trace(n_frames)
+    duration_ms = n_frames * constants.FRAME_BUDGET_MS
+    return Session(
+        clients=(ClientSpec("GRID"), ClientSpec("Doom3-L")),
+        events=(
+            Join(_CHURN_JOIN_FRACTION * duration_ms, ClientSpec("Doom3-L")),
+            Leave(_CHURN_LEAVE_FRACTION * duration_ms, client=1),
+        ),
+        platform=PlatformConfig(network=trace),
+        policy=policy,
+        server=RenderServer(capacity_clients=2.0, overflow="queue"),
+    )
+
+
+def session_churn(
+    n_frames: int = 240,
+    seed: int = 0,
+    policies: tuple[str, ...] = CHURN_POLICIES,
+    trace: TraceProfile | None = None,
+    engine: BatchEngine | None = None,
+) -> list[ChurnRow]:
+    """Compare scheduling policies on one churning session.
+
+    Plans the same event timeline (join → queue → promote-on-leave)
+    under each policy, executes every timeline's specs through one batch
+    (so parallel/caching engines accelerate the grid), and reports each
+    client's whole-run FPS plus its tail FPS inside the churn window —
+    from the joiner's promotion instant to the end of the link drop,
+    when the promoted client and the surviving incumbent contend on the
+    degraded link.
+    """
+    from repro.sim.session import SessionResult
+
+    trace = trace if trace is not None else default_admission_trace(n_frames)
+    if len(trace.times_ms) != 3:
+        raise ValueError(
+            "churn experiment needs a before/drop/after step trace "
+            f"(3 samples), got {len(trace.times_ms)}"
+        )
+    duration_ms = n_frames * constants.FRAME_BUDGET_MS
+    window_start = _CHURN_LEAVE_FRACTION * duration_ms
+    window_end = trace.times_ms[2]
+    timelines = {
+        policy: default_churn_session(n_frames, policy, trace).timeline(
+            n_frames=n_frames, seed=seed
+        )
+        for policy in policies
+    }
+    chosen = engine if engine is not None else default_engine()
+    batch = chosen.run_specs(
+        [spec for tl in timelines.values() for spec in tl.specs]
+    )
+    roles = {0: "incumbent", 1: "leaver", 2: "joiner"}
+    rows: list[ChurnRow] = []
+    for policy, timeline in timelines.items():
+        result = SessionResult(
+            timeline=timeline,
+            per_client=tuple(batch[spec] for spec in timeline.specs),
+        )
+        for client in timeline.clients:
+            run = result.result_for(client.index)
+            if run is None or client.start_ms is None:
+                continue
+            window = result.client_window(client.index, window_start, window_end)
+            rows.append(
+                ChurnRow(
+                    policy=policy,
+                    client=client.index,
+                    app=client.spec.app,
+                    role=roles.get(client.index, "client"),
+                    joined_ms=client.joined_ms,
+                    start_ms=client.start_ms,
+                    frames=len(run.records),
+                    mean_fps=run.measured_fps,
+                    window_p99_fps=(
+                        window.p99_fps if window is not None else float("nan")
+                    ),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Sec. 4.3: design overhead analysis
 # ---------------------------------------------------------------------------
 
@@ -871,4 +1013,5 @@ SIM_EXPERIMENTS: dict[str, Callable[..., object]] = {
     "fig15": fig15_energy,
     "netdrop": netdrop_adaptation,
     "admission": admission_scheduling,
+    "churn": session_churn,
 }

@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``)::
     python -m repro batch --profile wifi-drop --experiments fig12 netdrop
     python -m repro scenarios --clients Doom3-H:wifi GRID:wifi-drop:300
     python -m repro scenarios --clients GRID Doom3-L --policy deadline
+    python -m repro scenarios --clients GRID Doom3-L --events events.json \
+        --capacity 2 --overflow queue
     python -m repro overheads
 
 Each subcommand prints the same ASCII tables the benchmark suite produces.
@@ -21,13 +23,19 @@ swaps the default static network for a named dynamic profile (or a trace
 CSV path); ``scenarios`` runs a heterogeneous multi-client session where
 every client names its own ``APP[:PROFILE[:FREQ_MHZ]]`` and ``--policy``
 selects the shared server's scheduling policy (fair-share, weighted,
-deadline — see :mod:`repro.sim.server`).
+deadline — see :mod:`repro.sim.server`).  ``--events`` upgrades the
+scenario to an event-driven session (:mod:`repro.sim.session`): a JSON
+timeline of ``join`` / ``leave`` / ``switch`` entries the server re-plans
+at, with ``--capacity``/``--overflow`` configuring admission (overflow
+``queue`` makes late joiners wait for freed capacity and genuinely start
+late).
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import time
 
 from repro.analysis.experiments import (
@@ -48,7 +56,15 @@ from repro.sim.multiuser import (
     simulate_shared_infrastructure,
 )
 from repro.sim.runner import BatchEngine, ResultCache, run_comparison, speedup_over
-from repro.sim.server import POLICY_NAMES
+from repro.sim.server import OVERFLOW_MODES, POLICY_NAMES, RenderServer
+from repro.sim.session import (
+    Join,
+    Leave,
+    ProfileSwitch,
+    Session,
+    SessionEvent,
+    simulate_session,
+)
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES
 from repro.workloads.apps import APPS, TABLE3_ORDER
 
@@ -136,6 +152,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="fair-share", choices=list(POLICY_NAMES),
         help="server scheduling policy for the shared session "
         "(default: fair-share, the uniform division)",
+    )
+    scenarios.add_argument(
+        "--events", default=None, metavar="EVENTS_JSON",
+        help="JSON event timeline (join/leave/switch entries) upgrading "
+        "the scenario to an event-driven session that re-plans admission "
+        "and scheduling at every event",
+    )
+    scenarios.add_argument(
+        "--capacity", type=float, default=None,
+        help="server capacity in client-equivalents (default: one per "
+        "server GPU)",
+    )
+    scenarios.add_argument(
+        "--overflow", default=None, choices=list(OVERFLOW_MODES),
+        help="what happens to demand beyond capacity: degrade (default), "
+        "reject, or queue (queued clients start late when capacity frees)",
     )
     _add_engine_options(scenarios)
 
@@ -293,10 +325,177 @@ def _parse_client(token: str) -> ClientSpec:
     return ClientSpec(app=app, platform=platform, profile=profile)
 
 
+def _parse_events(path: str) -> tuple[SessionEvent, ...]:
+    """Load a JSON event timeline for ``repro scenarios --events``.
+
+    Accepts a top-level list (or a ``{"events": [...]}`` wrapper) of
+    entries carrying ``t_ms`` plus exactly one of:
+
+    * ``"join": "APP[:PROFILE[:FREQ_MHZ]]"`` — a new client arrives;
+    * ``"leave": INDEX`` — session client INDEX departs;
+    * ``"switch": INDEX, "profile": NAME`` — client INDEX roams onto
+      another link profile (or trace CSV path).
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(f"cannot read events file {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid JSON in {path!r}: {error}") from None
+    if isinstance(payload, dict):
+        payload = payload.get("events")
+    if not isinstance(payload, list):
+        raise ConfigurationError(
+            f"{path!r} must hold a JSON list of events "
+            '(or {"events": [...]})'
+        )
+    events: list[SessionEvent] = []
+    for entry in payload:
+        if not isinstance(entry, dict) or "t_ms" not in entry:
+            raise ConfigurationError(f"bad event entry in {path!r}: {entry}")
+        try:
+            t_ms = float(entry["t_ms"])
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"bad t_ms {entry['t_ms']!r} in {path!r}: {entry}"
+            ) from None
+        kinds = [k for k in ("join", "leave", "switch") if k in entry]
+        if len(kinds) != 1:
+            raise ConfigurationError(
+                f"event at {t_ms:g} ms in {path!r} needs exactly one of "
+                f"join/leave/switch, got {sorted(entry)}"
+            )
+        if kinds[0] == "join":
+            events.append(Join(t_ms, _parse_client(str(entry["join"]))))
+        elif kinds[0] == "leave":
+            events.append(Leave(t_ms, client=_event_index(entry, "leave", path)))
+        else:
+            if "profile" not in entry:
+                raise ConfigurationError(
+                    f"switch event at {t_ms:g} ms in {path!r} needs a "
+                    '"profile"'
+                )
+            events.append(
+                ProfileSwitch(
+                    t_ms,
+                    client=_event_index(entry, "switch", path),
+                    profile=profile_by_name(str(entry["profile"])),
+                )
+            )
+    return tuple(events)
+
+
+def _event_index(entry: dict, key: str, path: str) -> int:
+    """The client index of a leave/switch entry, validated."""
+    try:
+        return int(entry[key])
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"bad client index {entry[key]!r} for {key!r} in {path!r}: {entry}"
+        ) from None
+
+
+def _server_from(args: argparse.Namespace) -> RenderServer | None:
+    if args.capacity is None and args.overflow is None:
+        return None
+    return RenderServer(
+        capacity_clients=args.capacity,
+        overflow=args.overflow if args.overflow is not None else "degrade",
+    )
+
+
+def _cmd_session(args: argparse.Namespace, clients: tuple[ClientSpec, ...]) -> None:
+    """The event-driven branch of ``repro scenarios`` (--events)."""
+    session = Session(
+        clients=clients,
+        events=_parse_events(args.events),
+        sharing_efficiency=args.sharing_efficiency,
+        policy=args.policy,
+        server=_server_from(args),
+    )
+    result = simulate_session(
+        session,
+        n_frames=args.frames,
+        seed=args.seed,
+        system=args.system,
+        engine=_engine_from(args),
+    )
+    timeline = result.timeline
+    print(
+        format_table(
+            ["epoch", "window (ms)", "serviced", "queued"],
+            [
+                [
+                    index,
+                    f"{epoch.start_ms:.0f}-{epoch.end_ms:.0f}",
+                    ",".join(str(i) for i in epoch.serviced) or "-",
+                    ",".join(str(i) for i in epoch.queued) or "-",
+                ]
+                for index, epoch in enumerate(timeline.epochs)
+            ],
+            title=(
+                f"{args.system} — session of {len(timeline.clients)} clients, "
+                f"{len(timeline.epochs)} epochs, {args.policy} scheduling"
+            ),
+        )
+    )
+    rows = []
+    for client in timeline.clients:
+        run = result.result_for(client.index)
+        if run is None:
+            ever_queued = any(
+                client.index in epoch.queued for epoch in timeline.epochs
+            )
+            if client.end_ms is not None:
+                fate = "left (queued)" if ever_queued else "left"
+            else:
+                fate = "queued" if ever_queued else "rejected"
+            rows.append(
+                [client.index, client.spec.app, f"{client.joined_ms:.0f}",
+                 "-", fate, "-", "-", "-"]
+            )
+            continue
+        assert client.start_ms is not None
+        fate = "late-start" if client.start_ms > client.joined_ms else "admit"
+        if client.end_ms is not None:
+            fate += ", left"
+        rows.append(
+            [
+                client.index,
+                client.spec.app,
+                f"{client.joined_ms:.0f}",
+                f"{client.start_ms:.0f}",
+                fate,
+                len(run.records),
+                run.measured_fps,
+                run.mean_latency_ms,
+            ]
+        )
+    print(
+        format_table(
+            ["client", "app", "join (ms)", "start (ms)", "fate", "frames",
+             "FPS", "latency (ms)"],
+            rows,
+        )
+    )
+    serviced = len(result.per_client)
+    print(
+        f"aggregate: {result.mean_fps:.1f} FPS mean across {serviced} serviced "
+        f"clients, {result.clients_meeting_fps}/{serviced} hold 90 Hz"
+    )
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> None:
     clients = tuple(_parse_client(token) for token in args.clients)
+    if args.events is not None:
+        _cmd_session(args, clients)
+        return
     scenario = MultiUserScenario.heterogeneous(
-        clients, sharing_efficiency=args.sharing_efficiency, policy=args.policy
+        clients,
+        sharing_efficiency=args.sharing_efficiency,
+        policy=args.policy,
+        server=_server_from(args),
     )
     result = simulate_shared_infrastructure(
         scenario,

@@ -45,6 +45,8 @@ __all__ = [
     "TraceProfile",
     "MarkovProfile",
     "AllocatedProfile",
+    "OffsetProfile",
+    "SwitchedProfile",
     "ShareSchedule",
     "shared_conditions",
     "allocated_conditions",
@@ -568,6 +570,121 @@ class AllocatedProfile(NetworkProfile):
     @property
     def name(self) -> str:
         return f"{self.base.name}:{self.label}"
+
+
+class _OffsetSampler:
+    """Sampler translating a client-local clock onto session time."""
+
+    def __init__(self, base_sampler, offset_ms: float) -> None:
+        self._base = base_sampler
+        self._offset_ms = offset_ms
+
+    def conditions_at(self, t_ms: float) -> NetworkConditions:
+        return self._base.conditions_at(t_ms + self._offset_ms)
+
+
+@dataclass(frozen=True)
+class OffsetProfile(NetworkProfile):
+    """A base profile observed from a later session instant.
+
+    A late-starting client of an event-driven session (see
+    :mod:`repro.sim.session`) runs its own frame loop from local t = 0,
+    but the session link has already been evolving for ``offset_ms``:
+    sampling maps local ``t`` to session ``t + offset_ms``, so a client
+    promoted out of the admission queue mid-drop observes the drop, not
+    a fresh copy of the link's opening conditions.
+    """
+
+    base: NetworkProfile
+    offset_ms: float
+
+    def __post_init__(self) -> None:
+        if self.offset_ms < 0:
+            raise NetworkError(f"offset_ms must be >= 0, got {self.offset_ms}")
+        object.__setattr__(self, "offset_ms", float(self.offset_ms))
+
+    def sampler(self, seed: int = 0) -> _OffsetSampler:
+        return _OffsetSampler(self.base.sampler(seed), self.offset_ms)
+
+    def shared(self, n_clients: int, sharing_efficiency: float) -> "OffsetProfile":
+        return OffsetProfile(
+            self.base.shared(n_clients, sharing_efficiency), self.offset_ms
+        )
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}@+{self.offset_ms:g}ms"
+
+
+class _SwitchedSampler:
+    """Sampler dispatching to the profile in force at each instant."""
+
+    def __init__(
+        self,
+        segments: tuple[tuple[float, NetworkProfile], ...],
+        seed: int,
+    ) -> None:
+        self._starts = [start for start, _ in segments]
+        self._samplers = [profile.sampler(seed) for _, profile in segments]
+
+    def conditions_at(self, t_ms: float) -> NetworkConditions:
+        index = max(bisect_right(self._starts, t_ms) - 1, 0)
+        return self._samplers[index].conditions_at(t_ms)
+
+
+@dataclass(frozen=True)
+class SwitchedProfile(NetworkProfile):
+    """Profiles spliced at session instants: ``(start_ms, profile)`` segments.
+
+    The dynamic-session event ``ProfileSwitch`` (a client roaming from
+    Wi-Fi onto 4G mid-session, say) composes the client's link history
+    into one profile: each segment's profile is in force from its start
+    until the next boundary, sampled on the *session* clock so a splice
+    into the middle of a trace lands mid-trace, not at the trace's start.
+    Segment starts must begin at 0 and strictly increase.
+    """
+
+    segments: tuple[tuple[float, NetworkProfile], ...]
+    label: str = "switched"
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise NetworkError("switched profile needs at least one segment")
+        normalised = tuple(
+            (float(start), profile) for start, profile in self.segments
+        )
+        object.__setattr__(self, "segments", normalised)
+        starts = [start for start, _ in normalised]
+        if starts[0] != 0.0:
+            raise NetworkError(
+                f"first switched segment must start at 0 ms, got {starts[0]}"
+            )
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise NetworkError(
+                f"switched-segment starts must strictly increase: {starts}"
+            )
+        for _, profile in normalised:
+            if not isinstance(profile, NetworkProfile):
+                raise NetworkError(
+                    f"switched segments must hold NetworkProfile values, got "
+                    f"{type(profile).__name__}"
+                )
+
+    def sampler(self, seed: int = 0) -> _SwitchedSampler:
+        return _SwitchedSampler(self.segments, seed)
+
+    def shared(self, n_clients: int, sharing_efficiency: float) -> "SwitchedProfile":
+        return SwitchedProfile(
+            segments=tuple(
+                (start, profile.shared(n_clients, sharing_efficiency))
+                for start, profile in self.segments
+            ),
+            label=self.label,
+        )
+
+    @property
+    def name(self) -> str:
+        return self.label
 
 
 #: Named dynamic profiles the CLI accepts (``repro batch --profile``,

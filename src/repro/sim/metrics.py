@@ -21,7 +21,14 @@ import numpy as np
 from repro import constants
 from repro.errors import ConfigurationError
 
-__all__ = ["FrameRecord", "SimulationResult", "paper_fps", "tail_fps"]
+__all__ = [
+    "FrameRecord",
+    "SimulationResult",
+    "WindowStats",
+    "paper_fps",
+    "tail_fps",
+    "window_stats",
+]
 
 
 def tail_fps(display_times_ms, percentile: float = 99.0) -> float:
@@ -39,6 +46,62 @@ def tail_fps(display_times_ms, percentile: float = 99.0) -> float:
     if worst <= 0:
         return float("inf")
     return 1000.0 / worst
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Aggregate metrics over one time window of a run.
+
+    The unit of per-epoch aggregation for event-driven sessions
+    (:mod:`repro.sim.session`): an epoch of the session maps to a
+    ``[start_ms, end_ms)`` window of each client's run, and each window
+    summarises to frame count, throughput and tail frame rate plus the
+    mean partition/transmission state.  Windows too short to measure an
+    interval (< 2 frames) report NaN rates, matching the steady-state
+    metrics' convention.
+    """
+
+    start_ms: float
+    end_ms: float
+    frames: int
+    mean_fps: float
+    p99_fps: float
+    mean_e1_deg: float
+    mean_kb_per_frame: float
+
+
+def window_stats(records, start_ms: float, end_ms: float) -> WindowStats:
+    """Aggregate the frames displayed inside ``[start_ms, end_ms)``.
+
+    Frames are classified by display instant (the same convention the
+    netdrop/admission experiments use); FPS derives from the completion
+    intervals inside the window and the p99 tail via :func:`tail_fps`.
+    """
+    if end_ms <= start_ms:
+        raise ConfigurationError(
+            f"window must have positive length, got [{start_ms}, {end_ms})"
+        )
+    inside = [r for r in records if start_ms <= r.display_ms < end_ms]
+    times = [r.display_ms for r in inside]
+    if len(times) >= 2:
+        span = times[-1] - times[0]
+        mean_fps = 1000.0 * (len(times) - 1) / span if span > 0 else float("inf")
+    else:
+        mean_fps = float("nan")
+    e1 = [r.e1_deg for r in inside if not np.isnan(r.e1_deg)]
+    return WindowStats(
+        start_ms=start_ms,
+        end_ms=end_ms,
+        frames=len(inside),
+        mean_fps=mean_fps,
+        p99_fps=tail_fps(times, 99.0),
+        mean_e1_deg=float(np.mean(e1)) if e1 else float("nan"),
+        mean_kb_per_frame=(
+            float(np.mean([r.transmitted_bytes for r in inside])) / 1e3
+            if inside
+            else float("nan")
+        ),
+    )
 
 
 @dataclass(frozen=True)

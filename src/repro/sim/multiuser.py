@@ -37,24 +37,12 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro import constants
 from repro.errors import ConfigurationError
 from repro.network.conditions import NetworkConditions
 from repro.network.profile import NetworkProfile, as_profile
 from repro.sim.metrics import SimulationResult
-from repro.sim.runner import (
-    BatchEngine,
-    CLIENT_SEED_STRIDE,
-    RunSpec,
-    default_engine,
-    effective_warmup,
-)
-from repro.sim.server import (
-    AdmissionDecision,
-    ClientDemand,
-    POLICY_NAMES,
-    RenderServer,
-)
+from repro.sim.runner import BatchEngine, RunSpec, default_engine
+from repro.sim.server import AdmissionDecision, POLICY_NAMES, RenderServer
 from repro.sim.systems import PlatformConfig
 
 __all__ = [
@@ -64,11 +52,6 @@ __all__ = [
     "SessionPlan",
     "simulate_shared_infrastructure",
 ]
-
-#: Planning horizon slack over the nominal 90 Hz session duration, so
-#: allocation schedules keep re-evaluating even when degraded clients run
-#: well behind the target frame rate.
-_HORIZON_SLACK = 3.0
 
 
 @dataclass(frozen=True)
@@ -262,6 +245,23 @@ class MultiUserScenario:
             system=system, n_frames=n_frames, seed=seed, warmup_frames=warmup_frames
         ).specs
 
+    def as_session(self):
+        """This scenario as a (static, event-free) dynamic session.
+
+        The bridge to the event-driven surface: add events to the
+        returned :class:`~repro.sim.session.Session` and the same roster
+        churns; add none and it plans bit-identically to :meth:`plan`.
+        """
+        from repro.sim.session import Session
+
+        return Session(
+            clients=self.clients,
+            platform=self.platform,
+            sharing_efficiency=self.sharing_efficiency,
+            policy=self.policy,
+            server=self.server,
+        )
+
     def plan(
         self,
         system: str = "qvr",
@@ -271,93 +271,21 @@ class MultiUserScenario:
     ) -> "SessionPlan":
         """Admit, schedule and expand the session into frozen run specs.
 
-        The legacy fair-share path (no explicit server) admits everyone
-        and emits exactly the specs of earlier releases.  Any other
-        configuration runs the full server pipeline: per-client demand
-        estimation, admission (reject/queue/degrade on oversubscription)
-        and policy scheduling, whose share schedules ride inside the
-        specs so execution stays deterministic and cacheable.
+        A thin compatibility shim over a single-epoch event-free
+        :class:`~repro.sim.session.Session` (see :meth:`as_session`),
+        whose static path is the exact planning logic of earlier
+        releases: the legacy fair-share path (no explicit server) admits
+        everyone and emits exactly the specs of those releases — same
+        cache keys, bit-identical results — and any other configuration
+        runs the full server pipeline (demand estimation, admission,
+        policy scheduling) whose share schedules ride inside the specs.
         """
-        warmup = (
-            effective_warmup(n_frames) if warmup_frames is None else warmup_frames
-        )
-        assert self.platform is not None
-        default_network = self.platform.network
-        resolved = [
-            client.resolved_platform(self.platform) for client in self.clients
-        ]
-        seeds = [
-            seed + CLIENT_SEED_STRIDE * index for index in range(self.n_clients)
-        ]
-
-        def base_spec(index: int, **overrides) -> RunSpec:
-            client = self.clients[index]
-            kwargs = dict(
-                system=client.system if client.system is not None else system,
-                app=client.app,
-                platform=resolved[index],
-                n_frames=n_frames,
-                seed=seeds[index],
-                warmup_frames=warmup,
-                shared_clients=self.n_clients,
-                sharing_efficiency=self.sharing_efficiency,
-                # A client on its own link shares the server but not
-                # the session downlink.
-                shared_downlink=resolved[index].network == default_network,
-            )
-            kwargs.update(overrides)
-            return RunSpec(**kwargs)
-
-        if self.policy == "fair-share" and self.server is None:
-            specs = tuple(base_spec(index) for index in range(self.n_clients))
-            decisions = tuple(
-                AdmissionDecision(index, "admit") for index in range(self.n_clients)
-            )
-            return SessionPlan(decisions=decisions, specs=specs)
-
-        server = self.server if self.server is not None else RenderServer()
-        demands = tuple(
-            ClientDemand.estimate(
-                app=client.app,
-                profile=resolved[index].network,
-                # The allocation planner samples the profile with the
-                # channel's seed, so Markov links replay the same state
-                # sequence the run will observe.
-                seed=seeds[index] + 7,
-                weight=client.weight,
-                server=server.config,
-            )
-            for index, client in enumerate(self.clients)
-        )
-        decisions = server.admit(demands)
-        serviced = [d.client_index for d in decisions if d.serviced]
-        horizon_ms = n_frames * constants.FRAME_BUDGET_MS * _HORIZON_SLACK
-        allocations = server.allocate(
-            tuple(demands[i] for i in serviced),
-            self.policy,
-            horizon_ms=horizon_ms,
-            sharing_efficiency=self.sharing_efficiency,
-            service_levels=tuple(
-                d.service_level for d in decisions if d.serviced
-            ),
-        )
-        specs = tuple(
-            base_spec(
-                index,
-                policy=self.policy,
-                # Rejected/queued clients transmit nothing: only the
-                # serviced roster contends (shares, jitter growth).
-                shared_clients=max(len(serviced), 1),
-                server_allocation=allocation.server.segments,
-                downlink_allocation=(
-                    allocation.downlink.segments
-                    if resolved[index].network == default_network
-                    else None
-                ),
-            )
-            for index, allocation in zip(serviced, allocations)
-        )
-        return SessionPlan(decisions=decisions, specs=specs)
+        return self.as_session().timeline(
+            system=system,
+            n_frames=n_frames,
+            seed=seed,
+            warmup_frames=warmup_frames,
+        ).plan()
 
 
 @dataclass(frozen=True)

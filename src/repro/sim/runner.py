@@ -41,6 +41,7 @@ from repro.network.conditions import NetworkConditions
 from repro.network.profile import (
     AllocatedProfile,
     NetworkProfile,
+    OffsetProfile,
     as_profile,
     shared_conditions,
 )
@@ -112,6 +113,16 @@ class RunSpec:
     admission planner.  The neutral values (fair-share, no schedules)
     hash exactly as specs did before these fields existed, so published
     cache entries keep hitting.
+
+    ``start_ms`` is the client's service start on the *session* clock —
+    nonzero for a client of an event-driven session
+    (:mod:`repro.sim.session`) that joined or was promoted out of the
+    admission queue mid-session.  The run itself still executes on a
+    local clock from 0; the offset shifts how the client samples the
+    session's network profile, so a late starter observes the link as it
+    is at its start instant.  Allocation schedules are already emitted
+    in client-local time by the session planner.  The neutral value 0.0
+    hashes exactly as specs did before the field existed.
     """
 
     system: str
@@ -126,6 +137,7 @@ class RunSpec:
     policy: str = "fair-share"
     server_allocation: tuple[tuple[float, float], ...] | None = None
     downlink_allocation: tuple[tuple[float, float], ...] | None = None
+    start_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.system.lower() not in SYSTEM_NAMES:
@@ -143,6 +155,8 @@ class RunSpec:
             )
         if self.shared_clients < 1:
             raise ConfigurationError("shared_clients must be >= 1")
+        if self.start_ms < 0:
+            raise ConfigurationError(f"start_ms must be >= 0, got {self.start_ms}")
         if not 0 < self.sharing_efficiency <= 1:
             raise ConfigurationError("sharing_efficiency must be in (0, 1]")
         if self.policy not in POLICY_NAMES:
@@ -184,32 +198,38 @@ class RunSpec:
         session plan) skips the uniform division: the downlink schedule
         wraps the network in an
         :class:`~repro.network.profile.AllocatedProfile` and the server
-        schedule rides on the platform for the frame loop to sample.
+        schedule rides on the platform for the frame loop to sample.  A
+        late starter (``start_ms`` > 0) additionally observes the session
+        profile through an :class:`~repro.network.profile.OffsetProfile`,
+        so its local clock 0 lands at its session start instant.
         """
         n = self.shared_clients
         base = self.platform
+        network: NetworkConditions | NetworkProfile = base.network
+        if self.start_ms > 0:
+            network = OffsetProfile(as_profile(network), self.start_ms)
         if self.server_allocation is not None:
             if self.shared_downlink and self.downlink_allocation is not None:
                 scheduled: NetworkConditions | NetworkProfile = AllocatedProfile(
-                    base=as_profile(base.network),
+                    base=as_profile(network),
                     segments=self.downlink_allocation,
                     n_clients=n,
                     label=self.policy,
                 )
             else:
-                scheduled = base.network
+                scheduled = network
             return replace(
                 base, network=scheduled, server_schedule=self.server_allocation
             )
         if n == 1:
-            return base
+            return base if network is base.network else replace(base, network=network)
         share = 1.0 / (n * self.sharing_efficiency)
         if not self.shared_downlink:
-            shared_network: NetworkConditions | NetworkProfile = base.network
-        elif isinstance(base.network, NetworkProfile):
-            shared_network = base.network.shared(n, self.sharing_efficiency)
+            shared_network: NetworkConditions | NetworkProfile = network
+        elif isinstance(network, NetworkProfile):
+            shared_network = network.shared(n, self.sharing_efficiency)
         else:
-            shared_network = shared_conditions(base.network, n, self.sharing_efficiency)
+            shared_network = shared_conditions(network, n, self.sharing_efficiency)
         shared_server = replace(
             base.server,
             per_gpu_speedup=base.server.per_gpu_speedup * share,
@@ -356,6 +376,8 @@ _NEUTRAL_FIELDS: dict[str, dict[str, object]] = {
         "policy": "fair-share",
         "server_allocation": None,
         "downlink_allocation": None,
+        # v3 addition (event-driven sessions): session-clock start offset.
+        "start_ms": 0.0,
     },
     "PlatformConfig": {"server_schedule": None},
     "NetworkConditions": {"uplink_mbps": None},

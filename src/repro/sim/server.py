@@ -63,6 +63,7 @@ __all__ = [
     "RenderServer",
     "POLICIES",
     "POLICY_NAMES",
+    "OVERFLOW_MODES",
     "policy_by_name",
 ]
 
@@ -353,8 +354,9 @@ class RenderServer:
         horizon_ms: float,
         sharing_efficiency: float = 0.9,
         service_levels: tuple[float, ...] | None = None,
+        start_ms: float = 0.0,
     ) -> tuple[SessionAllocation, ...]:
-        """Plan per-client share schedules over the session horizon.
+        """Plan per-client share schedules over one planning window.
 
         Samples every client's profile on the tick grid and normalises
         the policy's weights so that equal weights reproduce the legacy
@@ -363,12 +365,22 @@ class RenderServer:
         ``service_level``; the downlink schedule does not (link capacity
         is not the server's to withhold).  Shares cap at 1.0 — a lone
         boosted client can at most use the whole resource.
+
+        ``start_ms`` offsets the window on the session clock: an
+        event-driven session re-plans at every epoch boundary, so epoch
+        allocations sample each profile at ``start_ms + tick`` (the
+        conditions actually in force then) while the emitted segments
+        stay window-local — ``horizon_ms`` is the window *duration* and
+        the first segment starts at 0, exactly as in the whole-session
+        call the static planner makes.
         """
         chosen = policy_by_name(policy) if isinstance(policy, str) else policy
         if not demands:
             return ()
         if horizon_ms <= 0:
             raise ConfigurationError(f"horizon_ms must be > 0, got {horizon_ms}")
+        if start_ms < 0:
+            raise ConfigurationError(f"start_ms must be >= 0, got {start_ms}")
         if not 0 < sharing_efficiency <= 1:
             raise ConfigurationError("sharing_efficiency must be in (0, 1]")
         services = (
@@ -389,7 +401,9 @@ class RenderServer:
         server_segments: list[list[tuple[float, float]]] = [[] for _ in demands]
         downlink_segments: list[list[tuple[float, float]]] = [[] for _ in demands]
         for t in ticks:
-            conditions = [sampler.conditions_at(t) for sampler in samplers]
+            conditions = [
+                sampler.conditions_at(start_ms + t) for sampler in samplers
+            ]
             weights = [
                 max(chosen.weight_at(d, c, t), _MIN_WEIGHT)
                 for d, c in zip(demands, conditions)

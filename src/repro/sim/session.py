@@ -1,0 +1,915 @@
+"""Event-driven collaborative sessions: join, leave, re-admit, promote.
+
+The paper's planet-scale framing ("users around the world, regardless of
+their hardware and network conditions") implies sessions that *churn*:
+clients join mid-session, leave early, and roam between links.  Surveys
+of synchronous VR/AR collaboration treat exactly this dynamism as the
+defining workload of multi-party systems, yet a frozen
+:class:`~repro.sim.multiuser.SessionPlan` can only describe a roster
+decided once at admission time.
+
+This module is the dynamic surface.  A :class:`Session` composes
+:class:`~repro.sim.multiuser.ClientSpec` values with a typed event
+timeline —
+
+* :class:`Join` — a new client arrives mid-session;
+* :class:`Leave` — a client departs (freeing its server capacity);
+* :class:`ProfileSwitch` — a client's link changes (Wi-Fi to 4G roam);
+
+and :meth:`Session.timeline` re-plans the session at every event: the
+:class:`~repro.sim.server.RenderServer` re-runs admission over the
+present roster (incumbents keep their slots — re-admission never
+evicts), **promotes queued clients into freed capacity** so they
+genuinely start late instead of sitting out, and re-allocates every
+policy's share schedules over each epoch.  The result is one frozen
+:class:`~repro.sim.runner.RunSpec` per serviced client — carrying its
+session start offset and the concatenated per-epoch ``(start_ms,
+share)`` schedules in client-local time — which the ordinary
+:class:`~repro.sim.runner.BatchEngine` executes deterministically, in
+parallel, and cacheably like any other spec.
+
+A session without events is planned exactly as
+:class:`~repro.sim.multiuser.MultiUserScenario` always planned it (that
+class is now a thin shim over a single-epoch session): same specs, same
+cache keys, bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.network.conditions import NetworkConditions
+from repro.network.profile import (
+    AllocatedProfile,
+    NetworkProfile,
+    SwitchedProfile,
+    as_profile,
+)
+from repro.sim.metrics import SimulationResult, WindowStats, window_stats
+from repro.sim.runner import (
+    BatchEngine,
+    CLIENT_SEED_STRIDE,
+    RunSpec,
+    default_engine,
+    effective_warmup,
+)
+from repro.sim.server import (
+    AdmissionDecision,
+    ClientDemand,
+    POLICY_NAMES,
+    RenderServer,
+)
+from repro.sim.systems import PlatformConfig
+
+__all__ = [
+    "SessionEvent",
+    "Join",
+    "Leave",
+    "ProfileSwitch",
+    "Session",
+    "Epoch",
+    "ClientTimeline",
+    "SessionTimeline",
+    "SessionResult",
+    "simulate_session",
+]
+
+#: Planning horizon slack over the nominal 90 Hz session duration, so
+#: allocation schedules keep re-evaluating even when degraded clients run
+#: well behind the target frame rate.
+_HORIZON_SLACK = 3.0
+
+
+def _client_spec(value):
+    """Promote a bare app name to a ClientSpec (late import: shim cycle)."""
+    from repro.sim.multiuser import ClientSpec
+
+    return value if isinstance(value, ClientSpec) else ClientSpec(app=value)
+
+
+# ---------------------------------------------------------------------------
+# The event vocabulary
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """Something that happens to the session at instant ``t_ms``.
+
+    Events must fall strictly inside the session: after its start (a
+    client present at t = 0 is simply an initial client) and before its
+    nominal end (checked against the frame count when the timeline is
+    planned).  ``Leave`` and ``ProfileSwitch`` name clients by *session
+    index*: initial clients count 0..n-1 in declaration order, and every
+    ``Join`` appends the next index in event order.
+    """
+
+    t_ms: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.t_ms) or self.t_ms <= 0:
+            raise ConfigurationError(
+                f"event time must be finite and > 0 ms, got {self.t_ms}"
+            )
+        object.__setattr__(self, "t_ms", float(self.t_ms))
+
+
+@dataclass(frozen=True)
+class Join(SessionEvent):
+    """A new client arrives mid-session (admitted, degraded, or queued)."""
+
+    spec: "object" = None  # ClientSpec or app-name string
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.spec is None:
+            raise ConfigurationError("Join needs a ClientSpec (or app name)")
+        object.__setattr__(self, "spec", _client_spec(self.spec))
+
+
+@dataclass(frozen=True)
+class Leave(SessionEvent):
+    """A client departs; its capacity frees for queued clients."""
+
+    client: int = -1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.client < 0:
+            raise ConfigurationError(
+                f"Leave needs a session client index >= 0, got {self.client}"
+            )
+
+
+@dataclass(frozen=True)
+class ProfileSwitch(SessionEvent):
+    """A client's link profile changes mid-session (onto a private link)."""
+
+    client: int = -1
+    profile: "NetworkProfile | NetworkConditions | str | None" = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.client < 0:
+            raise ConfigurationError(
+                f"ProfileSwitch needs a session client index >= 0, got {self.client}"
+            )
+        if self.profile is None:
+            raise ConfigurationError("ProfileSwitch needs a target profile")
+        object.__setattr__(self, "profile", as_profile(self.profile))
+
+
+# ---------------------------------------------------------------------------
+# The session builder
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Session:
+    """A declarative collaborative session: initial roster plus events.
+
+    Attributes
+    ----------
+    clients:
+        Clients present at t = 0 (bare app-name strings are promoted to
+        :class:`~repro.sim.multiuser.ClientSpec`).
+    events:
+        The churn timeline; events are applied in time order (ties keep
+        declaration order).  Without events the session is *static* and
+        plans exactly as :class:`~repro.sim.multiuser.MultiUserScenario`
+        always planned — same specs, same cache keys.
+    platform:
+        The default single-user platform being shared.
+    sharing_efficiency:
+        Fraction of ideal 1/N scaling the infrastructure achieves.
+    policy:
+        Server scheduling policy (:data:`~repro.sim.server.POLICY_NAMES`),
+        re-applied at every epoch.
+    server:
+        The rendering server.  ``None`` keeps the legacy behaviour for
+        static fair-share sessions (everyone admitted, no schedules) and
+        a default :class:`~repro.sim.server.RenderServer` otherwise; a
+        session *with events* always runs the full admission pipeline,
+        since even fair shares change when the roster does.
+    """
+
+    clients: tuple = ()
+    events: tuple[SessionEvent, ...] = ()
+    platform: PlatformConfig | None = None
+    sharing_efficiency: float = 0.9
+    policy: str = "fair-share"
+    server: RenderServer | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduling policy {self.policy!r}; known: {POLICY_NAMES}"
+            )
+        if not 0 < self.sharing_efficiency <= 1:
+            raise ConfigurationError("sharing_efficiency must be in (0, 1]")
+        if self.platform is None:
+            object.__setattr__(self, "platform", PlatformConfig())
+        object.__setattr__(
+            self, "clients", tuple(_client_spec(c) for c in self.clients)
+        )
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, SessionEvent):
+                raise ConfigurationError(
+                    f"events must be SessionEvent values, got "
+                    f"{type(event).__name__}"
+                )
+        self._validate_event_references()
+        if not self.clients and not any(
+            isinstance(e, Join) for e in self.events
+        ):
+            raise ConfigurationError(
+                "session needs at least one client (initial or joining)"
+            )
+
+    def _validate_event_references(self) -> None:
+        """Statically replay membership so bad indices fail at build time."""
+        known = len(self.clients)
+        left: set[int] = set()
+        for event in self.ordered_events():
+            if isinstance(event, Join):
+                known += 1
+                continue
+            index = event.client  # type: ignore[attr-defined]
+            if index >= known:
+                raise ConfigurationError(
+                    f"{type(event).__name__} at {event.t_ms:g} ms names client "
+                    f"{index}, but only {known} clients exist by then"
+                )
+            if index in left:
+                raise ConfigurationError(
+                    f"{type(event).__name__} at {event.t_ms:g} ms names client "
+                    f"{index}, which already left the session"
+                )
+            if isinstance(event, Leave):
+                left.add(index)
+
+    def ordered_events(self) -> tuple[SessionEvent, ...]:
+        """Events in application order: by time, ties in declaration order."""
+        return tuple(sorted(self.events, key=lambda e: e.t_ms))
+
+    @property
+    def n_clients(self) -> int:
+        """Total clients that ever participate (initial + joiners)."""
+        return len(self.clients) + sum(
+            1 for e in self.events if isinstance(e, Join)
+        )
+
+    # -- planning ----------------------------------------------------------------
+
+    def timeline(
+        self,
+        system: str = "qvr",
+        n_frames: int = 200,
+        seed: int = 0,
+        warmup_frames: int | None = None,
+    ) -> "SessionTimeline":
+        """Re-plan the session at every event and freeze it into run specs.
+
+        Static sessions (no events) take the exact legacy path of
+        ``MultiUserScenario.plan()``.  Event sessions walk the epoch list
+        chronologically: at each boundary the pending events apply, the
+        server re-admits the present roster **in arrival order** (so
+        incumbents keep their slots and freed capacity promotes queued
+        clients first-fit in arrival order — the oldest queued client
+        that *fits* goes first; a lighter late-comer may slip past a
+        heavy queued client rather than head-of-line block, matching the
+        server's greedy admission), and the policy re-allocates share
+        schedules over the epoch.  Every serviced
+        client freezes to one :class:`~repro.sim.runner.RunSpec` whose
+        ``start_ms`` is its promotion instant and whose frame count
+        covers its active window.
+        """
+        if not self.events:
+            return self._static_timeline(system, n_frames, seed, warmup_frames)
+        return self._dynamic_timeline(system, n_frames, seed, warmup_frames)
+
+    # -- the static (legacy, bit-identical) path ---------------------------------
+
+    def _static_timeline(
+        self,
+        system: str,
+        n_frames: int,
+        seed: int,
+        warmup_frames: int | None,
+    ) -> "SessionTimeline":
+        """The frozen-roster plan, byte-identical to earlier releases."""
+        warmup = (
+            effective_warmup(n_frames) if warmup_frames is None else warmup_frames
+        )
+        assert self.platform is not None
+        duration_ms = n_frames * constants.FRAME_BUDGET_MS
+        horizon_ms = duration_ms * _HORIZON_SLACK
+        default_network = self.platform.network
+        resolved = [
+            client.resolved_platform(self.platform) for client in self.clients
+        ]
+        seeds = [
+            seed + CLIENT_SEED_STRIDE * index for index in range(len(self.clients))
+        ]
+
+        def base_spec(index: int, **overrides) -> RunSpec:
+            client = self.clients[index]
+            kwargs = dict(
+                system=client.system if client.system is not None else system,
+                app=client.app,
+                platform=resolved[index],
+                n_frames=n_frames,
+                seed=seeds[index],
+                warmup_frames=warmup,
+                shared_clients=len(self.clients),
+                sharing_efficiency=self.sharing_efficiency,
+                # A client on its own link shares the server but not
+                # the session downlink.
+                shared_downlink=resolved[index].network == default_network,
+            )
+            kwargs.update(overrides)
+            return RunSpec(**kwargs)
+
+        if self.policy == "fair-share" and self.server is None:
+            specs = tuple(base_spec(index) for index in range(len(self.clients)))
+            decisions = tuple(
+                AdmissionDecision(index, "admit")
+                for index in range(len(self.clients))
+            )
+        else:
+            server = self.server if self.server is not None else RenderServer()
+            demands = tuple(
+                ClientDemand.estimate(
+                    app=client.app,
+                    profile=resolved[index].network,
+                    # The allocation planner samples the profile with the
+                    # channel's seed, so Markov links replay the same
+                    # state sequence the run will observe.
+                    seed=seeds[index] + 7,
+                    weight=client.weight,
+                    server=server.config,
+                )
+                for index, client in enumerate(self.clients)
+            )
+            decisions = server.admit(demands)
+            serviced = [d.client_index for d in decisions if d.serviced]
+            allocations = server.allocate(
+                tuple(demands[i] for i in serviced),
+                self.policy,
+                horizon_ms=horizon_ms,
+                sharing_efficiency=self.sharing_efficiency,
+                service_levels=tuple(
+                    d.service_level for d in decisions if d.serviced
+                ),
+            )
+            specs = tuple(
+                base_spec(
+                    index,
+                    policy=self.policy,
+                    # Rejected/queued clients transmit nothing: only the
+                    # serviced roster contends (shares, jitter growth).
+                    shared_clients=max(len(serviced), 1),
+                    server_allocation=allocation.server.segments,
+                    downlink_allocation=(
+                        allocation.downlink.segments
+                        if resolved[index].network == default_network
+                        else None
+                    ),
+                )
+                for index, allocation in zip(serviced, allocations)
+            )
+        serviced_indices = tuple(d.client_index for d in decisions if d.serviced)
+        runs = dict(zip(serviced_indices, specs))
+        client_rows = tuple(
+            ClientTimeline(
+                index=index,
+                spec=client,
+                joined_ms=0.0,
+                start_ms=0.0 if index in runs else None,
+                end_ms=None,
+                run=runs.get(index),
+            )
+            for index, client in enumerate(self.clients)
+        )
+        epoch = Epoch(
+            start_ms=0.0,
+            end_ms=duration_ms,
+            decisions=decisions,
+            serviced=serviced_indices,
+        )
+        return SessionTimeline(
+            session=self,
+            n_frames=n_frames,
+            duration_ms=duration_ms,
+            epochs=(epoch,),
+            clients=client_rows,
+        )
+
+    # -- the dynamic (event-driven) path ------------------------------------------
+
+    def _dynamic_timeline(
+        self,
+        system: str,
+        n_frames: int,
+        seed: int,
+        warmup_frames: int | None,
+    ) -> "SessionTimeline":
+        """Epoch-by-epoch re-admission, promotion, and re-allocation."""
+        assert self.platform is not None
+        duration_ms = n_frames * constants.FRAME_BUDGET_MS
+        horizon_ms = duration_ms * _HORIZON_SLACK
+        ordered = self.ordered_events()
+        for event in ordered:
+            if event.t_ms >= duration_ms:
+                raise ConfigurationError(
+                    f"event at {event.t_ms:g} ms falls outside the nominal "
+                    f"session ({n_frames} frames = {duration_ms:g} ms)"
+                )
+        server = self.server if self.server is not None else RenderServer()
+        default_network = self.platform.network
+
+        states = [
+            _ClientState(index, spec, 0.0, spec.resolved_platform(self.platform))
+            for index, spec in enumerate(self.clients)
+        ]
+
+        events_at: dict[float, list[SessionEvent]] = {}
+        for event in ordered:
+            events_at.setdefault(event.t_ms, []).append(event)
+        boundaries = [0.0] + sorted(events_at)
+
+        epochs: list[Epoch] = []
+        for k, t0 in enumerate(boundaries):
+            t1 = boundaries[k + 1] if k + 1 < len(boundaries) else duration_ms
+            for event in events_at.get(t0, ()):
+                if isinstance(event, Join):
+                    spec = _client_spec(event.spec)
+                    states.append(
+                        _ClientState(
+                            len(states),
+                            spec,
+                            t0,
+                            spec.resolved_platform(self.platform),
+                        )
+                    )
+                elif isinstance(event, Leave):
+                    states[event.client].leave(t0)
+                else:  # ProfileSwitch
+                    states[event.client].switch(t0, event.profile)
+
+            # Admission priority: clients already being serviced first
+            # (by service start — the greedy admit() packs them before
+            # any newcomer, so re-admission can never evict or demote a
+            # running client: incumbents fit by construction and weights
+            # never change), then waiting clients by arrival.  Freed
+            # capacity goes to the oldest waiting client that fits
+            # (greedy first-fit, so a light late-comer may pass a heavy
+            # queued client instead of head-of-line blocking).
+            roster = sorted(
+                (s for s in states if s.present_at(t0)),
+                key=lambda s: (
+                    s.service_start is None,
+                    s.service_start if s.service_start is not None else s.joined_ms,
+                    s.joined_ms,
+                    s.index,
+                ),
+            )
+            demands = tuple(
+                ClientDemand.estimate(
+                    app=s.spec.app,
+                    profile=s.profile(),
+                    seed=seed + CLIENT_SEED_STRIDE * s.index + 7,
+                    weight=s.spec.weight,
+                    server=server.config,
+                )
+                for s in roster
+            )
+            raw = server.admit(demands)
+            decisions = tuple(
+                replace(d, client_index=roster[d.client_index].index) for d in raw
+            )
+            # A rejection is final: the client is turned away, not parked
+            # in the queue — only queue-mode clients are re-tried (and
+            # promoted) at later boundaries.
+            for state, decision in zip(roster, decisions):
+                if decision.action == "reject":
+                    state.rejected = True
+            serviced_pos = [i for i, d in enumerate(decisions) if d.serviced]
+            serviced = [roster[i] for i in serviced_pos]
+            window_end = horizon_ms if k + 1 == len(boundaries) else t1
+            allocations = server.allocate(
+                tuple(demands[i] for i in serviced_pos),
+                self.policy,
+                horizon_ms=window_end - t0,
+                sharing_efficiency=self.sharing_efficiency,
+                service_levels=tuple(
+                    d.service_level for d in decisions if d.serviced
+                ),
+                start_ms=t0,
+            )
+            for state, allocation in zip(serviced, allocations):
+                state.record_service(t0, allocation, len(serviced))
+            epochs.append(
+                Epoch(
+                    start_ms=t0,
+                    end_ms=t1,
+                    decisions=decisions,
+                    serviced=tuple(s.index for s in serviced),
+                )
+            )
+
+        client_rows = tuple(
+            state.freeze(
+                session=self,
+                system=system,
+                n_frames=n_frames,
+                seed=seed,
+                warmup_frames=warmup_frames,
+                duration_ms=duration_ms,
+                default_network=default_network,
+            )
+            for state in states
+        )
+        return SessionTimeline(
+            session=self,
+            n_frames=n_frames,
+            duration_ms=duration_ms,
+            epochs=tuple(epochs),
+            clients=client_rows,
+        )
+
+
+class _ClientState:
+    """Mutable per-client bookkeeping while the planner walks the epochs."""
+
+    def __init__(
+        self,
+        index: int,
+        spec,
+        joined_ms: float,
+        resolved: PlatformConfig,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.joined_ms = joined_ms
+        self.resolved = resolved
+        self.left_ms: float | None = None
+        self.rejected = False
+        self.profile_history: list[tuple[float, NetworkProfile]] = [
+            (0.0, as_profile(resolved.network))
+        ]
+        self.service_start: float | None = None
+        self.service_end: float | None = None
+        self.server_segments: list[tuple[float, float]] = []
+        self.downlink_segments: list[tuple[float, float]] = []
+        self.peak_roster = 0
+
+    def present_at(self, t_ms: float) -> bool:
+        return (
+            self.joined_ms <= t_ms and self.left_ms is None and not self.rejected
+        )
+
+    def leave(self, t_ms: float) -> None:
+        self.left_ms = t_ms
+        if self.service_start is not None and self.service_end is None:
+            self.service_end = t_ms
+
+    def switch(self, t_ms: float, profile: NetworkProfile) -> None:
+        self.profile_history.append((t_ms, profile))
+
+    def profile(self) -> NetworkProfile:
+        """The client's link history so far, as one sampleable profile."""
+        if len(self.profile_history) == 1:
+            return self.profile_history[0][1]
+        return SwitchedProfile(
+            segments=tuple(self.profile_history),
+            label=f"{self.profile_history[0][1].name}:switched",
+        )
+
+    def _switched_network(
+        self, session: Session, default_network, shared_start: bool
+    ) -> SwitchedProfile:
+        """The executable composite link of a client that roamed mid-run.
+
+        A client that began on the shared session link was contending on
+        the session downlink until its first switch, so that span must
+        sample the *allocated* view of the default link (the client's
+        scheduled downlink share, with the session's jitter growth) —
+        not the raw full-capacity link.  Splicing the allocation into
+        the profile here keeps the pre-switch epochs bit-identical to
+        the same session without the roam; the post-switch segments are
+        the client's private links, sampled at full capacity.
+        """
+        segments = list(self.profile_history)
+        if shared_start and self.downlink_segments:
+            # Session-time shares; the first segment starts at the
+            # client's service start, normalised to the 0-origin the
+            # schedule requires (instants before it are never sampled).
+            shares = tuple(self.downlink_segments)
+            shares = ((0.0, shares[0][1]),) + shares[1:]
+            segments[0] = (
+                0.0,
+                AllocatedProfile(
+                    base=as_profile(default_network),
+                    segments=shares,
+                    n_clients=max(self.peak_roster, 1),
+                    label=session.policy,
+                ),
+            )
+        return SwitchedProfile(
+            segments=tuple(segments),
+            label=f"{self.profile_history[0][1].name}:switched",
+        )
+
+    @property
+    def switched(self) -> bool:
+        return len(self.profile_history) > 1
+
+    def record_service(self, t0: float, allocation, roster_size: int) -> None:
+        if self.service_start is None:
+            self.service_start = t0
+        self.peak_roster = max(self.peak_roster, roster_size)
+        for start, share in allocation.server.segments:
+            _append_merged(self.server_segments, t0 + start, share)
+        for start, share in allocation.downlink.segments:
+            _append_merged(self.downlink_segments, t0 + start, share)
+
+    def freeze(
+        self,
+        session: Session,
+        system: str,
+        n_frames: int,
+        seed: int,
+        warmup_frames: int | None,
+        duration_ms: float,
+        default_network,
+    ) -> "ClientTimeline":
+        """Close the books: one RunSpec if the client was ever serviced."""
+        if self.service_start is None:
+            return ClientTimeline(
+                index=self.index,
+                spec=self.spec,
+                joined_ms=self.joined_ms,
+                start_ms=None,
+                end_ms=self.left_ms,
+                run=None,
+            )
+        start = self.service_start
+        end = self.service_end
+        active_ms = (end if end is not None else duration_ms) - start
+        frames = max(1, int(round(n_frames * active_ms / duration_ms)))
+        warmup = effective_warmup(
+            frames, effective_warmup(n_frames) if warmup_frames is None else warmup_frames
+        )
+        # A client is on the shared session downlink only while it holds
+        # the default link: an override privatises it from the start; a
+        # mid-session switch privatises it *from the switch on* (the
+        # pre-switch span keeps its allocated share of the session link
+        # — see _switched_network — so a later roam cannot retroactively
+        # rewrite epochs the client spent contending on the downlink).
+        shared_start = self.resolved.network == default_network
+        shared_link = shared_start and not self.switched
+        platform = (
+            replace(
+                self.resolved,
+                network=self._switched_network(session, default_network, shared_start),
+            )
+            if self.switched
+            else self.resolved
+        )
+        run = RunSpec(
+            system=self.spec.system if self.spec.system is not None else system,
+            app=self.spec.app,
+            platform=platform,
+            n_frames=frames,
+            seed=seed + CLIENT_SEED_STRIDE * self.index,
+            warmup_frames=warmup,
+            shared_clients=max(self.peak_roster, 1),
+            sharing_efficiency=session.sharing_efficiency,
+            shared_downlink=shared_link,
+            policy=session.policy,
+            server_allocation=tuple(
+                (s - start, share) for s, share in self.server_segments
+            ),
+            downlink_allocation=(
+                tuple((s - start, share) for s, share in self.downlink_segments)
+                if shared_link
+                else None
+            ),
+            start_ms=start,
+        )
+        return ClientTimeline(
+            index=self.index,
+            spec=self.spec,
+            joined_ms=self.joined_ms,
+            start_ms=start,
+            end_ms=end,
+            run=run,
+        )
+
+
+def _append_merged(
+    segments: list[tuple[float, float]], start_ms: float, share: float
+) -> None:
+    """Append a segment, merging runs of identical shares across epochs."""
+    if segments and segments[-1][1] == share:
+        return
+    segments.append((start_ms, share))
+
+
+# ---------------------------------------------------------------------------
+# Timeline output
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One planning window between consecutive session events.
+
+    ``decisions`` covers the roster present during the epoch, in
+    admission-priority order (clients already being serviced first, by
+    service start, then waiters by arrival), with ``client_index``
+    naming session indices; ``serviced`` lists the indices that actually
+    render during the epoch.
+    """
+
+    start_ms: float
+    end_ms: float
+    decisions: tuple[AdmissionDecision, ...]
+    serviced: tuple[int, ...]
+
+    @property
+    def queued(self) -> tuple[int, ...]:
+        """Session indices waiting in the admission queue this epoch."""
+        return tuple(
+            d.client_index for d in self.decisions if d.action == "queue"
+        )
+
+
+@dataclass(frozen=True)
+class ClientTimeline:
+    """One client's fate across the whole session.
+
+    ``start_ms``/``end_ms`` bound the client's *service* window on the
+    session clock (``None`` start: never serviced; ``None`` end: ran to
+    the session's end).  ``run`` is the frozen executable spec, absent
+    for clients that were rejected, or left while still queued.
+    """
+
+    index: int
+    spec: "object"
+    joined_ms: float
+    start_ms: float | None
+    end_ms: float | None
+    run: RunSpec | None
+
+    @property
+    def serviced(self) -> bool:
+        """True when the client rendered at least one epoch."""
+        return self.run is not None
+
+    @property
+    def queued_ms(self) -> float:
+        """Time spent waiting in the admission queue before service."""
+        if self.start_ms is None:
+            return float("nan")
+        return self.start_ms - self.joined_ms
+
+
+@dataclass(frozen=True)
+class SessionTimeline:
+    """The planner's full output: epochs plus per-client verdicts."""
+
+    session: Session
+    n_frames: int
+    duration_ms: float
+    epochs: tuple[Epoch, ...]
+    clients: tuple[ClientTimeline, ...]
+
+    @property
+    def specs(self) -> tuple[RunSpec, ...]:
+        """One frozen spec per serviced client, in session index order."""
+        return tuple(c.run for c in self.clients if c.run is not None)
+
+    @property
+    def serviced_indices(self) -> tuple[int, ...]:
+        """Session indices of the clients that actually run."""
+        return tuple(c.index for c in self.clients if c.run is not None)
+
+    def client(self, index: int) -> ClientTimeline:
+        """The timeline of one session client."""
+        if not 0 <= index < len(self.clients):
+            raise ConfigurationError(
+                f"no session client {index}; session has {len(self.clients)}"
+            )
+        return self.clients[index]
+
+    def plan(self):
+        """The legacy single-epoch view (``MultiUserScenario.plan()``)."""
+        from repro.sim.multiuser import SessionPlan
+
+        if len(self.epochs) != 1:
+            raise ConfigurationError(
+                "SessionPlan is the static single-epoch view; this session "
+                f"re-planned {len(self.epochs)} epochs — consume the "
+                "timeline instead"
+            )
+        return SessionPlan(decisions=self.epochs[0].decisions, specs=self.specs)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Per-client simulation results plus the timeline they executed.
+
+    ``per_client`` aligns with :attr:`SessionTimeline.serviced_indices`.
+    Per-epoch aggregation maps each session epoch onto every client's
+    local clock (records start at the client's own t = 0) via
+    :func:`~repro.sim.metrics.window_stats`.
+    """
+
+    timeline: SessionTimeline
+    per_client: tuple[SimulationResult, ...]
+
+    def result_for(self, index: int) -> SimulationResult | None:
+        """The run result of one session client (None if never serviced)."""
+        for serviced, result in zip(
+            self.timeline.serviced_indices, self.per_client
+        ):
+            if serviced == index:
+                return result
+        return None
+
+    def client_window(
+        self, index: int, start_ms: float, end_ms: float
+    ) -> WindowStats | None:
+        """Aggregate one client's frames inside a *session-clock* window.
+
+        The window translates onto the client's local clock (local 0 is
+        its service start); returns None when the window ends before the
+        client ever started.
+        """
+        client = self.timeline.client(index)
+        result = self.result_for(index)
+        if result is None or client.start_ms is None:
+            return None
+        local_start = max(start_ms - client.start_ms, 0.0)
+        local_end = end_ms - client.start_ms
+        if local_end <= local_start:
+            return None
+        return window_stats(result.records, local_start, local_end)
+
+    def epoch_stats(self, index: int) -> tuple[WindowStats | None, ...]:
+        """One :class:`~repro.sim.metrics.WindowStats` per session epoch."""
+        return tuple(
+            self.client_window(index, epoch.start_ms, epoch.end_ms)
+            for epoch in self.timeline.epochs
+        )
+
+    @property
+    def mean_fps(self) -> float:
+        """Average per-client frame rate across serviced clients."""
+        if not self.per_client:
+            return float("nan")
+        return float(np.mean([r.measured_fps for r in self.per_client]))
+
+    @property
+    def clients_meeting_fps(self) -> int:
+        """How many serviced clients hold the 90 Hz requirement."""
+        return sum(1 for r in self.per_client if r.meets_target_fps)
+
+
+def simulate_session(
+    session: Session,
+    n_frames: int = 200,
+    seed: int = 0,
+    system: str = "qvr",
+    engine: BatchEngine | None = None,
+    warmup_frames: int | None = None,
+) -> SessionResult:
+    """Plan and execute an event-driven session end to end.
+
+    The timeline's frozen specs run through the batch engine (the
+    caller's, or the default serial one), so parallel and caching
+    engines accelerate churn studies exactly as they accelerate figure
+    sweeps; clients the admission controller never serviced contribute
+    no result but keep their verdicts on the timeline.
+    """
+    timeline = session.timeline(
+        system=system, n_frames=n_frames, seed=seed, warmup_frames=warmup_frames
+    )
+    chosen = engine if engine is not None else default_engine()
+    batch = chosen.run_specs(timeline.specs)
+    return SessionResult(
+        timeline=timeline,
+        per_client=tuple(batch[spec] for spec in timeline.specs),
+    )

@@ -6,6 +6,7 @@ import pytest
 from repro.analysis.calibration import ANCHORS, within_band
 from repro.analysis.experiments import (
     SIM_EXPERIMENTS,
+    default_churn_session,
     default_netdrop_profile,
     fig15_energy,
     fig3_motivation,
@@ -14,6 +15,7 @@ from repro.analysis.experiments import (
     fig14_balancing,
     netdrop_adaptation,
     overhead_analysis,
+    session_churn,
     table1_static_characterization,
     table4_eccentricity,
 )
@@ -119,7 +121,8 @@ class TestOverheads:
 class TestBatchEngineRouting:
     def test_sim_experiments_registry_is_complete(self):
         assert set(SIM_EXPERIMENTS) == {
-            "fig12", "fig13", "fig14", "table4", "fig15", "netdrop", "admission",
+            "fig12", "fig13", "fig14", "table4", "fig15", "netdrop",
+            "admission", "churn",
         }
 
     def test_table4_and_fig15_share_their_qvr_grid(self):
@@ -177,6 +180,62 @@ class TestNetDrop:
         assert first == second
         assert engine.stats.executed == 1
         assert engine.stats.cache_hits == 1
+
+
+class TestChurn:
+    """The churn experiment's acceptance prediction (re-admission)."""
+
+    def test_queued_joiner_starts_late_and_renders(self):
+        rows = session_churn(n_frames=120)
+        joiners = [r for r in rows if r.role == "joiner"]
+        assert len(joiners) == 2  # one per policy
+        for row in joiners:
+            assert row.start_ms > row.joined_ms > 0
+            assert row.frames > 0
+            assert np.isfinite(row.mean_fps)
+
+    def test_deadline_re_admission_protects_the_incumbent_tail(self):
+        """Deadline keeps the surviving incumbent's drop-window p99 FPS
+        above fair-share while the promoted client contends mid-drop."""
+        rows = session_churn(n_frames=120)
+        p99 = {
+            r.policy: r.window_p99_fps
+            for r in rows
+            if r.role == "incumbent"
+        }
+        assert p99["deadline"] > p99["fair-share"]
+
+    def test_leaver_stops_early(self):
+        rows = session_churn(n_frames=120, policies=("fair-share",))
+        leaver = next(r for r in rows if r.role == "leaver")
+        incumbent = next(r for r in rows if r.role == "incumbent")
+        assert leaver.frames < incumbent.frames
+
+    def test_sessions_share_one_batch(self):
+        engine = BatchEngine()
+        first = session_churn(n_frames=120, engine=engine)
+        second = session_churn(n_frames=120, engine=engine)
+        # repr-compare: the leaver's window p99 is NaN (it departs before
+        # the churn window opens), and NaN != NaN under field equality.
+        assert repr(first) == repr(second)
+        assert engine.stats.cache_hits == engine.stats.executed == 6
+
+    def test_canonical_session_queues_the_joiner(self):
+        session = default_churn_session(120)
+        timeline = session.timeline(n_frames=120)
+        assert timeline.epochs[1].queued == (2,)
+        assert timeline.client(2).start_ms > timeline.client(2).joined_ms
+
+    def test_rejects_non_step_traces(self):
+        from repro.network.profile import TraceProfile
+
+        bad = TraceProfile(
+            base=WIFI,
+            times_ms=(0.0, 100.0),
+            throughput_mbps=(100.0, 50.0),
+        )
+        with pytest.raises(ValueError):
+            session_churn(n_frames=60, trace=bad)
 
 
 class TestReport:

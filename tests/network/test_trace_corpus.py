@@ -1,0 +1,55 @@
+"""Tests for the checked-in 4G/5G trace corpus under data/."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.network.profile import TraceProfile, profile_by_name
+
+DATA_DIR = Path(__file__).resolve().parents[2] / "data"
+
+CORPUS = sorted(DATA_DIR.glob("*.csv"))
+
+
+def test_corpus_is_present():
+    names = {path.name for path in CORPUS}
+    assert {"lte_4g_drive.csv", "nr_5g_walk.csv"} <= names
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+class TestCorpusTraces:
+    def test_loads_via_from_csv(self, path):
+        trace = TraceProfile.from_csv(str(path))
+        assert trace.times_ms[0] == 0.0
+        assert len(trace.times_ms) >= 60
+        assert all(b > a for a, b in zip(trace.times_ms, trace.times_ms[1:]))
+        assert all(x > 0 for x in trace.throughput_mbps)
+        # Every corpus trace carries a per-sample path latency.
+        assert trace.propagation_ms is not None
+        assert all(p > 0 for p in trace.propagation_ms)
+
+    def test_shows_real_world_dynamics(self, path):
+        """Drive/walk traces swing by well over 3x (handover, blockage)."""
+        trace = TraceProfile.from_csv(str(path))
+        assert max(trace.throughput_mbps) / min(trace.throughput_mbps) > 3.0
+
+    def test_resolves_as_a_cli_profile_name(self, path):
+        trace = profile_by_name(str(path))
+        assert isinstance(trace, TraceProfile)
+        assert trace.name == str(path)
+
+    def test_samples_deterministically(self, path):
+        trace = TraceProfile.from_csv(str(path))
+        a = trace.sampler(0).conditions_at(15_500.0)
+        b = trace.sampler(0).conditions_at(15_500.0)
+        assert a == b
+        # Step replay: mid-interval samples hold the previous row.
+        assert a == trace.sampler(0).conditions_at(15_000.0)
+
+
+def test_4g_trace_is_slower_than_5g():
+    lte = TraceProfile.from_csv(str(DATA_DIR / "lte_4g_drive.csv"))
+    nr = TraceProfile.from_csv(str(DATA_DIR / "nr_5g_walk.csv"))
+    lte_mean = sum(lte.throughput_mbps) / len(lte.throughput_mbps)
+    nr_mean = sum(nr.throughput_mbps) / len(nr.throughput_mbps)
+    assert nr_mean > 2 * lte_mean

@@ -53,7 +53,8 @@ class TestBatchCommand:
     def test_batch_defaults_to_all_sim_experiments(self):
         args = build_parser().parse_args(["batch"])
         assert args.experiments == [
-            "admission", "fig12", "fig13", "fig14", "fig15", "netdrop", "table4",
+            "admission", "churn", "fig12", "fig13", "fig14", "fig15",
+            "netdrop", "table4",
         ]
         assert args.jobs == 1
         assert args.cache_dir is None
@@ -146,3 +147,82 @@ class TestScenariosCommand:
         assert "heterogeneous clients" in out
         assert "Doom3-L" in out and "GRID" in out
         assert "aggregate:" in out
+
+
+class TestSessionEventsCommand:
+    def _events(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "events.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_events_session_runs_and_reports_epochs(self, capsys, tmp_path):
+        events = self._events(
+            tmp_path,
+            {
+                "events": [
+                    {"t_ms": 150.0, "join": "Doom3-L"},
+                    {"t_ms": 300.0, "leave": 1},
+                ]
+            },
+        )
+        code = main(
+            ["scenarios", "--clients", "GRID", "Doom3-L",
+             "--events", events, "--capacity", "2", "--overflow", "queue",
+             "--frames", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epochs" in out
+        assert "late-start" in out
+        assert "aggregate:" in out
+
+    def test_events_accept_a_bare_list_and_switch(self, capsys, tmp_path):
+        events = self._events(
+            tmp_path, [{"t_ms": 200.0, "switch": 0, "profile": "4g"}]
+        )
+        assert main(
+            ["scenarios", "--clients", "GRID", "--events", events,
+             "--frames", "40"]
+        ) == 0
+        assert "epochs" in capsys.readouterr().out
+
+    def test_malformed_events_rejected(self, tmp_path):
+        for payload in (
+            {"events": [{"t_ms": 100.0}]},                      # no kind
+            {"events": [{"t_ms": 100.0, "join": "GRID", "leave": 0}]},
+            {"events": [{"join": "GRID"}]},                     # no t_ms
+            {"events": [{"t_ms": 100.0, "switch": 0}]},         # no profile
+            {"events": [{"t_ms": "soon", "join": "GRID"}]},     # bad t_ms
+            {"events": [{"t_ms": 100.0, "leave": "one"}]},      # bad index
+            {"events": [{"t_ms": 100.0, "switch": None,
+                         "profile": "4g"}]},                    # bad index
+            "not-a-list",
+        ):
+            events = self._events(tmp_path, payload)
+            with pytest.raises(ConfigurationError):
+                main(
+                    ["scenarios", "--clients", "GRID", "Doom3-L",
+                     "--events", events, "--frames", "40"]
+                )
+
+    def test_unreadable_or_invalid_json_rejected(self, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text('{"events": [,]}')
+        for path in (str(broken), str(tmp_path / "missing.json")):
+            with pytest.raises(ConfigurationError):
+                main(
+                    ["scenarios", "--clients", "GRID",
+                     "--events", path, "--frames", "40"]
+                )
+
+    def test_capacity_and_overflow_reach_the_static_scenario(self, capsys):
+        """Without --events the server options still apply (queue mode)."""
+        code = main(
+            ["scenarios", "--clients", "GRID", "Doom3-L", "Doom3-L",
+             "--capacity", "2", "--overflow", "queue", "--frames", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queue" in out
