@@ -77,6 +77,10 @@ __all__ = [
     "CHURN_POLICIES",
     "default_churn_session",
     "session_churn",
+    "FailoverRow",
+    "FAILOVER_MODES",
+    "default_failover_session",
+    "failover_recovery",
     "overhead_analysis",
     "GPU_FREQUENCIES_MHZ",
     "SIM_EXPERIMENTS",
@@ -988,6 +992,137 @@ def session_churn(
 
 
 # ---------------------------------------------------------------------------
+# Failover: server failure, migration vs naive re-queue on a render fleet
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailoverRow:
+    """One client of a fleet session under one failover mode.
+
+    The testable prediction (elastic-infrastructure reasoning applied to
+    the Q-VR server tier): when a fleet server **fails mid-session**,
+    re-seating the displaced client on a surviving server via
+    least-loaded migration — even paying the state-transfer penalty —
+    keeps its tail frame rate inside the failure window far above the
+    naive baseline that re-queues it FCFS behind the incumbents (where
+    it renders at the starvation share until a later re-planning event,
+    which never comes).
+    """
+
+    mode: str
+    client: int
+    app: str
+    role: str
+    servers: str
+    migrations: int
+    mean_fps: float
+    window_p99_fps: float
+
+
+#: Failover modes compared by default: least-loaded migration vs the
+#: naive re-queue baseline (same fleet, migration disabled).
+FAILOVER_MODES: tuple[str, ...] = ("least-loaded", "requeue")
+
+#: Session-relative instants of the canonical failover script: server
+#: ``b`` fails at 40% of the nominal session; the drop window over which
+#: tails are compared spans the following 40%.
+_FAILOVER_FAIL_FRACTION = 0.4
+_FAILOVER_WINDOW_FRACTION = 0.4
+
+
+def default_failover_session(n_frames: int, mode: str = "least-loaded"):
+    """The canonical failover session scaled to a run of ``n_frames``.
+
+    A light incumbent (Doom3-L) and a heavy client (GRID) spread across
+    a two-server fleet (a: 2.0, b: 1.0 client-equivalents) under
+    least-loaded placement, so the heavy client lands alone on ``b`` —
+    which fails mid-session.  ``mode`` selects what happens next:
+    ``"least-loaded"`` migrates the displaced client onto ``a``;
+    ``"requeue"`` parks it at the starvation share behind the incumbent.
+    """
+    from repro.sim.fleet import RenderFleet, ServerFail
+    from repro.sim.multiuser import ClientSpec
+    from repro.sim.session import Session
+
+    if mode not in FAILOVER_MODES:
+        raise ValueError(
+            f"unknown failover mode {mode!r}; known: {FAILOVER_MODES}"
+        )
+    fleet = RenderFleet.from_capacities(
+        {"a": 2.0, "b": 1.0},
+        placement="least-loaded",
+        migration="migrate" if mode == "least-loaded" else "requeue",
+    )
+    duration_ms = n_frames * constants.FRAME_BUDGET_MS
+    return Session(
+        clients=(ClientSpec("Doom3-L"), ClientSpec("GRID")),
+        events=(ServerFail(_FAILOVER_FAIL_FRACTION * duration_ms, "b"),),
+        fleet=fleet,
+    )
+
+
+def failover_recovery(
+    n_frames: int = 240,
+    seed: int = 0,
+    modes: tuple[str, ...] = FAILOVER_MODES,
+    engine: BatchEngine | None = None,
+) -> list[FailoverRow]:
+    """Compare failover modes on one fleet session with a mid-run failure.
+
+    Plans the same capacity timeline (``ServerFail`` on the heavy
+    client's server) under each mode, executes every timeline's specs
+    through one batch, and reports each client's whole-run FPS plus its
+    p99 tail inside the failure window — displaced clients are the rows
+    whose placement history moved (or parked).  Windows too starved to
+    measure a tail report 0 (the re-queue baseline's signature).
+    """
+    from repro.sim.session import SessionResult
+
+    duration_ms = n_frames * constants.FRAME_BUDGET_MS
+    window_start = _FAILOVER_FAIL_FRACTION * duration_ms
+    window_end = window_start + _FAILOVER_WINDOW_FRACTION * duration_ms
+    timelines = {
+        mode: default_failover_session(n_frames, mode).timeline(
+            n_frames=n_frames, seed=seed
+        )
+        for mode in modes
+    }
+    chosen = engine if engine is not None else default_engine()
+    batch = chosen.run_specs(
+        [spec for tl in timelines.values() for spec in tl.specs]
+    )
+    rows: list[FailoverRow] = []
+    for mode, timeline in timelines.items():
+        result = SessionResult(
+            timeline=timeline,
+            per_client=tuple(batch[spec] for spec in timeline.specs),
+        )
+        for client in timeline.clients:
+            run = result.result_for(client.index)
+            if run is None:
+                continue
+            window = result.client_window(client.index, window_start, window_end)
+            p99 = window.p99_fps if window is not None else float("nan")
+            rows.append(
+                FailoverRow(
+                    mode=mode,
+                    client=client.index,
+                    app=client.spec.app,
+                    role="displaced" if len(client.servers) > 1 else "incumbent",
+                    servers="->".join(
+                        name if name is not None else "~"
+                        for _, name in client.servers
+                    ),
+                    migrations=client.migrations,
+                    mean_fps=run.measured_fps,
+                    window_p99_fps=0.0 if np.isnan(p99) else p99,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Sec. 4.3: design overhead analysis
 # ---------------------------------------------------------------------------
 
@@ -1014,4 +1149,5 @@ SIM_EXPERIMENTS: dict[str, Callable[..., object]] = {
     "netdrop": netdrop_adaptation,
     "admission": admission_scheduling,
     "churn": session_churn,
+    "failover": failover_recovery,
 }

@@ -11,6 +11,10 @@ Usage (also via ``python -m repro``)::
     python -m repro scenarios --clients GRID Doom3-L --policy deadline
     python -m repro scenarios --clients GRID Doom3-L --events events.json \
         --capacity 2 --overflow queue
+    python -m repro scenarios --clients GRID Doom3-L --fleet fleet.json \
+        --events fleet_events.json
+    python -m repro scenarios --clients GRID Doom3-L \
+        --motion-events data/lte_4g_drive.csv
     python -m repro overheads
 
 Each subcommand prints the same ASCII tables the benchmark suite produces.
@@ -28,7 +32,15 @@ scenario to an event-driven session (:mod:`repro.sim.session`): a JSON
 timeline of ``join`` / ``leave`` / ``switch`` entries the server re-plans
 at, with ``--capacity``/``--overflow`` configuring admission (overflow
 ``queue`` makes late joiners wait for freed capacity and genuinely start
-late).
+late).  ``--fleet`` swaps the single server for a named multi-server
+:class:`~repro.sim.fleet.RenderFleet` (JSON: servers, placement,
+migration mode/penalty), whose event files may additionally carry
+``up`` / ``down`` / ``fail`` capacity entries; the output grows
+per-server epoch occupancy and placement-history fate tables.
+``--motion-events`` synthesizes degraded-link ``ProfileSwitch`` events
+for client 0 from the deterministic head-motion trace (high-velocity
+windows roam onto the named profile or trace CSV, e.g. the checked-in
+``data/`` corpus, then recover).
 """
 
 from __future__ import annotations
@@ -46,10 +58,13 @@ from repro.analysis.experiments import (
     table1_static_characterization,
     table4_eccentricity,
 )
+from repro import constants
 from repro.analysis.report import format_table
 from repro.errors import ConfigurationError
+from repro.motion.traces import generate_trace
 from repro.network.conditions import by_name
-from repro.network.profile import PiecewiseProfile, profile_by_name
+from repro.network.profile import PiecewiseProfile, as_profile, profile_by_name
+from repro.sim.fleet import RenderFleet, ServerDown, ServerFail, ServerUp
 from repro.sim.multiuser import (
     ClientSpec,
     MultiUserScenario,
@@ -63,6 +78,7 @@ from repro.sim.session import (
     ProfileSwitch,
     Session,
     SessionEvent,
+    events_from_motion,
     simulate_session,
 )
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES
@@ -168,6 +184,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--overflow", default=None, choices=list(OVERFLOW_MODES),
         help="what happens to demand beyond capacity: degrade (default), "
         "reject, or queue (queued clients start late when capacity frees)",
+    )
+    scenarios.add_argument(
+        "--fleet", default=None, metavar="FLEET_JSON",
+        help="JSON fleet description (named servers, placement policy, "
+        "migration mode/penalty) replacing the single server; event files "
+        "may then carry up/down/fail capacity entries",
+    )
+    scenarios.add_argument(
+        "--motion-events", default=None, metavar="PROFILE",
+        help="synthesize degraded-link ProfileSwitch events for client 0 "
+        "from the head-motion trace: high-velocity windows roam onto this "
+        "profile (a registry name or trace CSV, e.g. data/lte_4g_drive.csv) "
+        "and recover afterwards",
     )
     _add_engine_options(scenarios)
 
@@ -334,7 +363,10 @@ def _parse_events(path: str) -> tuple[SessionEvent, ...]:
     * ``"join": "APP[:PROFILE[:FREQ_MHZ]]"`` — a new client arrives;
     * ``"leave": INDEX`` — session client INDEX departs;
     * ``"switch": INDEX, "profile": NAME`` — client INDEX roams onto
-      another link profile (or trace CSV path).
+      another link profile (or trace CSV path);
+    * ``"up": SERVER`` / ``"down": SERVER`` / ``"fail": SERVER`` — fleet
+      capacity events (require ``--fleet``); ``down`` takes an optional
+      ``"drain": false`` to skip the graceful migration.
     """
     try:
         with open(path) as handle:
@@ -360,17 +392,20 @@ def _parse_events(path: str) -> tuple[SessionEvent, ...]:
             raise ConfigurationError(
                 f"bad t_ms {entry['t_ms']!r} in {path!r}: {entry}"
             ) from None
-        kinds = [k for k in ("join", "leave", "switch") if k in entry]
+        kinds = [
+            k for k in ("join", "leave", "switch", "up", "down", "fail")
+            if k in entry
+        ]
         if len(kinds) != 1:
             raise ConfigurationError(
                 f"event at {t_ms:g} ms in {path!r} needs exactly one of "
-                f"join/leave/switch, got {sorted(entry)}"
+                f"join/leave/switch/up/down/fail, got {sorted(entry)}"
             )
         if kinds[0] == "join":
             events.append(Join(t_ms, _parse_client(str(entry["join"]))))
         elif kinds[0] == "leave":
             events.append(Leave(t_ms, client=_event_index(entry, "leave", path)))
-        else:
+        elif kinds[0] == "switch":
             if "profile" not in entry:
                 raise ConfigurationError(
                     f"switch event at {t_ms:g} ms in {path!r} needs a "
@@ -383,7 +418,76 @@ def _parse_events(path: str) -> tuple[SessionEvent, ...]:
                     profile=profile_by_name(str(entry["profile"])),
                 )
             )
+        elif kinds[0] == "up":
+            events.append(ServerUp(t_ms, server=str(entry["up"])))
+        elif kinds[0] == "down":
+            events.append(
+                ServerDown(
+                    t_ms,
+                    server=str(entry["down"]),
+                    drain=bool(entry.get("drain", True)),
+                )
+            )
+        else:
+            events.append(ServerFail(t_ms, server=str(entry["fail"])))
     return tuple(events)
+
+
+def _parse_fleet(path: str) -> RenderFleet:
+    """Load a JSON fleet description for ``repro scenarios --fleet``.
+
+    Schema::
+
+        {"servers": {"a": 2.0, "b": {"capacity": 1.0}},
+         "placement": "least-loaded",      # optional
+         "migration": "migrate",           # optional: migrate | requeue
+         "migration_penalty_ms": 120.0,    # optional
+         "initial": ["a"],                 # optional: names up at t = 0
+         "overflow": "queue"}              # optional: queue | reject
+
+    Server values are a bare capacity (client-equivalents) or an object
+    with a ``"capacity"`` key.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(f"cannot read fleet file {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid JSON in {path!r}: {error}") from None
+    if not isinstance(payload, dict) or not isinstance(payload.get("servers"), dict):
+        raise ConfigurationError(
+            f'{path!r} must hold a JSON object with a "servers" mapping'
+        )
+    known = {
+        "servers", "placement", "migration", "migration_penalty_ms",
+        "initial", "overflow",
+    }
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fleet keys {unknown} in {path!r}; known: {sorted(known)}"
+        )
+    capacities: dict[str, float] = {}
+    for name, value in payload["servers"].items():
+        if isinstance(value, dict):
+            value = value.get("capacity")
+        try:
+            capacities[str(name)] = float(value)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"bad capacity {value!r} for fleet server {name!r} in {path!r}"
+            ) from None
+    kwargs = {
+        key: payload[key]
+        for key in ("placement", "migration", "overflow")
+        if key in payload
+    }
+    if "migration_penalty_ms" in payload:
+        kwargs["migration_penalty_ms"] = float(payload["migration_penalty_ms"])
+    if "initial" in payload:
+        kwargs["initial"] = tuple(str(n) for n in payload["initial"])
+    return RenderFleet.from_capacities(capacities, **kwargs)
 
 
 def _event_index(entry: dict, key: str, path: str) -> int:
@@ -405,14 +509,51 @@ def _server_from(args: argparse.Namespace) -> RenderServer | None:
     )
 
 
+def _motion_events(
+    args: argparse.Namespace, clients: tuple[ClientSpec, ...]
+) -> tuple[SessionEvent, ...]:
+    """Synthesize client-0 ProfileSwitch events from the motion trace.
+
+    Recovery switches back onto client 0's *declared* link (its profile
+    override, or the session default) — a client on 4G roams back to 4G,
+    not onto the default Wi-Fi.
+    """
+    trace = generate_trace(
+        args.frames, constants.FRAME_BUDGET_MS, 1920, 2160, seed=args.seed
+    )
+    baseline = clients[0].resolved_platform(PlatformConfig()).network
+    return events_from_motion(
+        trace,
+        degraded=profile_by_name(args.motion_events),
+        recovered=as_profile(baseline),
+    )
+
+
 def _cmd_session(args: argparse.Namespace, clients: tuple[ClientSpec, ...]) -> None:
-    """The event-driven branch of ``repro scenarios`` (--events)."""
+    """The event-driven branch of ``repro scenarios``.
+
+    Taken for ``--events``, ``--fleet``, and/or ``--motion-events``; a
+    fleet session prints per-server occupancy and placement history on
+    top of the usual epoch/fate tables.
+    """
+    fleet = _parse_fleet(args.fleet) if args.fleet is not None else None
+    if fleet is not None and (args.capacity is not None or args.overflow is not None):
+        raise ConfigurationError(
+            "--fleet already describes the servers; --capacity/--overflow "
+            "apply only to the single-server session"
+        )
+    events: tuple[SessionEvent, ...] = ()
+    if args.events is not None:
+        events += _parse_events(args.events)
+    if args.motion_events is not None:
+        events += _motion_events(args, clients)
     session = Session(
         clients=clients,
-        events=_parse_events(args.events),
+        events=events,
         sharing_efficiency=args.sharing_efficiency,
         policy=args.policy,
-        server=_server_from(args),
+        server=_server_from(args) if fleet is None else None,
+        fleet=fleet,
     )
     result = simulate_session(
         session,
@@ -437,12 +578,37 @@ def _cmd_session(args: argparse.Namespace, clients: tuple[ClientSpec, ...]) -> N
             title=(
                 f"{args.system} — session of {len(timeline.clients)} clients, "
                 f"{len(timeline.epochs)} epochs, {args.policy} scheduling"
+                + (f", {fleet.placement} placement" if fleet is not None else "")
             ),
         )
     )
+    if fleet is not None:
+        print(
+            format_table(
+                ["epoch", "server", "load/cap", "clients", "migrated in"],
+                [
+                    [
+                        index,
+                        window.server,
+                        f"{window.load:g}/{window.capacity:g}",
+                        ",".join(str(i) for i in window.clients) or "-",
+                        ",".join(str(i) for i in window.migrated_in) or "-",
+                    ]
+                    for index, epoch in enumerate(timeline.epochs)
+                    for window in epoch.servers
+                ],
+                title="per-server occupancy (down servers have no row)",
+            )
+        )
     rows = []
     for client in timeline.clients:
         run = result.result_for(client.index)
+        history = (
+            "->".join(
+                name if name is not None else "~" for _, name in client.servers
+            )
+            or "-"
+        )
         if run is None:
             ever_queued = any(
                 client.index in epoch.queued for epoch in timeline.epochs
@@ -451,34 +617,53 @@ def _cmd_session(args: argparse.Namespace, clients: tuple[ClientSpec, ...]) -> N
                 fate = "left (queued)" if ever_queued else "left"
             else:
                 fate = "queued" if ever_queued else "rejected"
-            rows.append(
-                [client.index, client.spec.app, f"{client.joined_ms:.0f}",
-                 "-", fate, "-", "-", "-"]
-            )
+            row = [client.index, client.spec.app, f"{client.joined_ms:.0f}",
+                   "-", fate, "-", "-", "-"]
+            if fleet is not None:
+                row += [history, client.migrations]
+            rows.append(row)
             continue
         assert client.start_ms is not None
         fate = "late-start" if client.start_ms > client.joined_ms else "admit"
         if client.end_ms is not None:
             fate += ", left"
-        rows.append(
-            [
-                client.index,
-                client.spec.app,
-                f"{client.joined_ms:.0f}",
-                f"{client.start_ms:.0f}",
-                fate,
-                len(run.records),
-                run.measured_fps,
-                run.mean_latency_ms,
-            ]
+        row = [
+            client.index,
+            client.spec.app,
+            f"{client.joined_ms:.0f}",
+            f"{client.start_ms:.0f}",
+            fate,
+            len(run.records),
+            run.measured_fps,
+            run.mean_latency_ms,
+        ]
+        if fleet is not None:
+            row += [history, client.migrations]
+        rows.append(row)
+    headers = ["client", "app", "join (ms)", "start (ms)", "fate", "frames",
+               "FPS", "latency (ms)"]
+    if fleet is not None:
+        headers += ["servers", "migr"]
+    print(format_table(headers, rows))
+    if fleet is not None:
+        print(
+            format_table(
+                ["server", "up (ms)", "mean util", "peak load",
+                 "clients", "migr in"],
+                [
+                    [
+                        stats.server,
+                        f"{stats.up_ms:.0f}",
+                        stats.mean_utilisation,
+                        stats.peak_load,
+                        stats.distinct_clients,
+                        stats.migrations_in,
+                    ]
+                    for stats in timeline.server_stats
+                ],
+                title="fleet summary",
+            )
         )
-    print(
-        format_table(
-            ["client", "app", "join (ms)", "start (ms)", "fate", "frames",
-             "FPS", "latency (ms)"],
-            rows,
-        )
-    )
     serviced = len(result.per_client)
     print(
         f"aggregate: {result.mean_fps:.1f} FPS mean across {serviced} serviced "
@@ -488,7 +673,11 @@ def _cmd_session(args: argparse.Namespace, clients: tuple[ClientSpec, ...]) -> N
 
 def _cmd_scenarios(args: argparse.Namespace) -> None:
     clients = tuple(_parse_client(token) for token in args.clients)
-    if args.events is not None:
+    if (
+        args.events is not None
+        or args.fleet is not None
+        or args.motion_events is not None
+    ):
         _cmd_session(args, clients)
         return
     scenario = MultiUserScenario.heterogeneous(

@@ -505,6 +505,32 @@ class ShareSchedule:
         index = max(bisect_right(self._starts, t_ms) - 1, 0)
         return self.segments[index][1]
 
+    def with_stall(self, stall_ms: float, stall_share: float) -> "ShareSchedule":
+        """This schedule with its opening ``stall_ms`` pinned to ``stall_share``.
+
+        The splice the render-fleet planner (:mod:`repro.sim.fleet`)
+        applies to a migrated client's epoch schedule: while state
+        transfers to the new server the client renders at a starvation
+        share, then the planned allocation resumes mid-schedule exactly
+        where it would have been.  A stall covering the whole schedule
+        leaves one flat starvation segment; ``stall_ms <= 0`` is the
+        identity.
+        """
+        if stall_ms <= 0:
+            return self
+        if stall_share <= 0:
+            raise ConfigurationError(
+                f"stall share must be > 0, got {stall_share}"
+            )
+        segments: list[tuple[float, float]] = [(0.0, float(stall_share))]
+        resume = self.share_at(stall_ms)
+        if resume != stall_share:
+            segments.append((float(stall_ms), resume))
+        for start, share in self.segments:
+            if start > stall_ms and share != segments[-1][1]:
+                segments.append((start, share))
+        return ShareSchedule(tuple(segments))
+
 
 class _AllocatedSampler:
     """Sampler applying a share schedule on top of a base profile sampler."""

@@ -1,0 +1,731 @@
+"""Elastic render fleets: multi-server capacity, failures, migration.
+
+The paper's collaborative design assumes the remote tier can absorb
+whatever the mobile clients offload; surveys of synchronous multi-party
+VR stress the opposite — real sessions are bounded by *elastic,
+failure-prone* server infrastructure.  This module turns the
+reproduction's server from a scalar capacity into a simulated cluster:
+
+* :class:`RenderFleet` — a roster of **named**
+  :class:`~repro.sim.server.RenderServer`s with a pluggable
+  :class:`PlacementPolicy` (first-fit, least-loaded, sticky/affinity)
+  mapping serviced clients onto servers at every planning epoch;
+* the capacity events extending the session vocabulary
+  (:mod:`repro.sim.session`) — :class:`ServerUp`, :class:`ServerDown`
+  (with graceful ``drain``), and :class:`ServerFail` — so
+  :meth:`~repro.sim.session.Session.timeline` re-plans placement at
+  every capacity *or* client event;
+* :func:`plan_fleet_timeline` — the fleet-aware planner behind
+  ``Session.timeline()``: on shrink or failure, displaced clients are
+  **migrated** to a surviving server (a configurable migration penalty
+  is spliced into their ``(start_ms, share)`` schedules as a starvation
+  window while state transfers) or — under the naive ``"requeue"``
+  mode — dropped to the back of the admission queue FCFS behind
+  incumbents, where they render at the starvation share until a later
+  re-planning event re-seats them.
+
+Planning invariants:
+
+* incumbents whose server survives are never re-placed (no spontaneous
+  consolidation churn); the placement policy decides only for new,
+  promoted, and displaced clients;
+* a displaced client that fits nowhere is **parked** — it keeps its one
+  contiguous :class:`~repro.sim.runner.RunSpec` but renders at
+  :data:`STALL_SHARE` until capacity returns (the connection survives
+  the outage, the frames mostly do not);
+* fleet servers are homogeneous in hardware
+  (:class:`~repro.gpu.config.RemoteServerConfig`) and may differ only in
+  capacity, so a mid-run migration never changes the render-time model
+  behind a frozen spec;
+* everything stays deterministic and cache-stable: the planner emits
+  ordinary specs whose schedules carry the whole story, and a
+  single-server fleet with no capacity events plans bit-identically to
+  the same session on a bare ``RenderServer``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.network.profile import ShareSchedule
+from repro.sim.metrics import ServerWindow
+from repro.sim.runner import CLIENT_SEED_STRIDE
+from repro.sim.server import AdmissionDecision, ClientDemand, RenderServer
+from repro.sim.session import (
+    _HORIZON_SLACK,
+    CapacityEvent,
+    Epoch,
+    Join,
+    Leave,
+    ProfileSwitch,
+    Session,
+    SessionTimeline,
+    _client_spec,
+    _ClientState,
+)
+
+__all__ = [
+    "ServerUp",
+    "ServerDown",
+    "ServerFail",
+    "PlacementPolicy",
+    "FirstFitPlacement",
+    "LeastLoadedPlacement",
+    "StickyPlacement",
+    "PLACEMENTS",
+    "PLACEMENT_NAMES",
+    "placement_by_name",
+    "MIGRATION_MODES",
+    "FLEET_OVERFLOW_MODES",
+    "STALL_SHARE",
+    "RenderFleet",
+    "plan_fleet_timeline",
+]
+
+#: Starvation share a parked or state-transferring client renders (and
+#: transmits) at: the session keeps the connection alive, but the frames
+#: all but stop — small enough to gut the tail frame rate, positive so
+#: schedules stay valid and the run keeps advancing deterministically.
+STALL_SHARE = 0.05
+
+#: How a fleet treats clients displaced by a shrink or failure.
+MIGRATION_MODES = ("migrate", "requeue")
+
+#: What happens to a *new* client no server can seat.  Displaced
+#: incumbents always park/queue — mid-session clients are never rejected.
+FLEET_OVERFLOW_MODES = ("queue", "reject")
+
+
+# ---------------------------------------------------------------------------
+# Capacity events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServerUp(CapacityEvent):
+    """A fleet server comes (back) online; its capacity joins the pool."""
+
+    rank = 2
+
+
+@dataclass(frozen=True)
+class ServerDown(CapacityEvent):
+    """A planned scale-down.  ``drain=True`` (the default) migrates the
+    displaced clients gracefully — state was transferred while the server
+    drained, so no migration penalty applies; ``drain=False`` yanks the
+    server, and re-seated clients pay the penalty."""
+
+    rank = 0
+
+    drain: bool = True
+
+
+@dataclass(frozen=True)
+class ServerFail(CapacityEvent):
+    """An abrupt failure: in-flight state is lost, every displaced client
+    pays the migration penalty when re-seated (even on the same server
+    after a later :class:`ServerUp`)."""
+
+    rank = 0
+
+
+# ---------------------------------------------------------------------------
+# Placement policies
+# ---------------------------------------------------------------------------
+
+
+class PlacementPolicy(ABC):
+    """Chooses a server for one client at one planning boundary."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(
+        self,
+        candidates: tuple[str, ...],
+        loads: dict[str, float],
+        capacities: dict[str, float],
+        last_server: str | None,
+    ) -> str:
+        """Pick one of ``candidates`` (non-empty, fleet declaration order,
+        all with room for the client).  ``loads`` holds the weight already
+        placed this epoch; ``last_server`` is where the client last
+        rendered (None for a first placement)."""
+
+
+class FirstFitPlacement(PlacementPolicy):
+    """The first declared server with room — the dense-packing baseline."""
+
+    name = "first-fit"
+
+    def place(self, candidates, loads, capacities, last_server):
+        return candidates[0]
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """The server with the lowest capacity-relative load (ties: declaration
+    order) — spreads clients, keeping headroom for failover."""
+
+    name = "least-loaded"
+
+    def place(self, candidates, loads, capacities, last_server):
+        best = min(
+            range(len(candidates)),
+            key=lambda i: (loads[candidates[i]] / capacities[candidates[i]], i),
+        )
+        return candidates[best]
+
+
+class StickyPlacement(PlacementPolicy):
+    """Affinity: the client's previous server when it has room (cheap
+    re-attach, warm caches), least-loaded otherwise."""
+
+    name = "sticky"
+
+    def place(self, candidates, loads, capacities, last_server):
+        if last_server is not None and last_server in candidates:
+            return last_server
+        return LeastLoadedPlacement().place(
+            candidates, loads, capacities, last_server
+        )
+
+
+#: Registry of placement policies by CLI name.
+PLACEMENTS: dict[str, PlacementPolicy] = {
+    policy.name: policy
+    for policy in (FirstFitPlacement(), LeastLoadedPlacement(), StickyPlacement())
+}
+
+#: Placement-policy names, first-fit (the default) first.
+PLACEMENT_NAMES: tuple[str, ...] = tuple(PLACEMENTS)
+
+
+def placement_by_name(name: str) -> PlacementPolicy:
+    """Resolve a placement policy by its registry name."""
+    key = name.strip().lower()
+    if key not in PLACEMENTS:
+        raise ConfigurationError(
+            f"unknown placement policy {name!r}; known: {PLACEMENT_NAMES}"
+        )
+    return PLACEMENTS[key]
+
+
+# ---------------------------------------------------------------------------
+# The fleet
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RenderFleet:
+    """A roster of named rendering servers behind one session.
+
+    Attributes
+    ----------
+    servers:
+        ``(name, RenderServer)`` pairs (a mapping is accepted and
+        normalised); declaration order is the deterministic tie-break
+        every placement policy falls back to.  Servers must share one
+        :class:`~repro.gpu.config.RemoteServerConfig` and tick grid
+        (homogeneous hardware — capacities may differ), so migrating a
+        client never changes the render-time model inside its frozen
+        spec.
+    placement:
+        Placement policy name (:data:`PLACEMENT_NAMES`).
+    migration:
+        ``"migrate"`` re-seats displaced clients immediately through the
+        placement policy; ``"requeue"`` (the naive baseline the failover
+        experiment beats) drops clients displaced by an *unplanned*
+        outage (failure, non-drained down) to the back of the queue,
+        where they stall until a later re-planning event re-admits them
+        — drained scale-downs migrate gracefully under both modes.
+    migration_penalty_ms:
+        Starvation window spliced into a re-seated client's server
+        schedule while its state transfers; clamped to the epoch (the
+        next re-plan re-syncs).  Drained scale-downs skip it.
+    initial:
+        Names up at t = 0 (default: every declared server).  Servers not
+        initially up join the pool through :class:`ServerUp` events.
+    overflow:
+        Fate of a *new* client no server can seat: ``"queue"`` (wait for
+        capacity, the default) or ``"reject"`` (final, as on a bare
+        server).
+    """
+
+    servers: tuple[tuple[str, RenderServer], ...]
+    placement: str = "first-fit"
+    migration: str = "migrate"
+    migration_penalty_ms: float = 120.0
+    initial: tuple[str, ...] | None = None
+    overflow: str = "queue"
+
+    def __post_init__(self) -> None:
+        pairs = (
+            tuple(self.servers.items())
+            if isinstance(self.servers, dict)
+            else tuple(tuple(pair) for pair in self.servers)
+        )
+        object.__setattr__(self, "servers", pairs)
+        if not pairs:
+            raise ConfigurationError("a fleet needs at least one server")
+        names = [name for name, _ in pairs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate fleet server names: {names}")
+        for name, server in pairs:
+            if not isinstance(name, str) or not name:
+                raise ConfigurationError(
+                    f"fleet server names must be non-empty strings, got {name!r}"
+                )
+            if not isinstance(server, RenderServer):
+                raise ConfigurationError(
+                    f"fleet server {name!r} must be a RenderServer, got "
+                    f"{type(server).__name__}"
+                )
+        reference = pairs[0][1]
+        for name, server in pairs[1:]:
+            if server.config != reference.config or server.tick_ms != reference.tick_ms:
+                raise ConfigurationError(
+                    f"fleet servers must share one hardware config and tick "
+                    f"grid (capacities may differ); {name!r} disagrees with "
+                    f"{pairs[0][0]!r}"
+                )
+        placement_by_name(self.placement)  # raises on unknown names
+        if self.migration not in MIGRATION_MODES:
+            raise ConfigurationError(
+                f"unknown migration mode {self.migration!r}; "
+                f"known: {MIGRATION_MODES}"
+            )
+        if self.overflow not in FLEET_OVERFLOW_MODES:
+            raise ConfigurationError(
+                f"unknown fleet overflow mode {self.overflow!r}; "
+                f"known: {FLEET_OVERFLOW_MODES}"
+            )
+        if self.migration_penalty_ms < 0:
+            raise ConfigurationError(
+                f"migration_penalty_ms must be >= 0, got "
+                f"{self.migration_penalty_ms}"
+            )
+        if self.initial is not None:
+            initial = tuple(self.initial)
+            object.__setattr__(self, "initial", initial)
+            unknown = [name for name in initial if name not in names]
+            if unknown:
+                raise ConfigurationError(
+                    f"initial servers {unknown} not in the fleet: {names}"
+                )
+
+    @classmethod
+    def from_capacities(
+        cls, capacities: dict[str, float], **kwargs
+    ) -> "RenderFleet":
+        """A homogeneous fleet from ``{name: capacity_clients}``."""
+        return cls(
+            servers=tuple(
+                (name, RenderServer(capacity_clients=float(capacity)))
+                for name, capacity in capacities.items()
+            ),
+            **kwargs,
+        )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Server names in declaration order."""
+        return tuple(name for name, _ in self.servers)
+
+    def server(self, name: str) -> RenderServer:
+        """The named server."""
+        for candidate, server in self.servers:
+            if candidate == name:
+                return server
+        raise ConfigurationError(
+            f"no fleet server {name!r}; known: {self.names}"
+        )
+
+    def initially_up(self, name: str) -> bool:
+        """True when the named server is up at t = 0."""
+        return self.initial is None or name in self.initial
+
+    @property
+    def total_capacity(self) -> float:
+        """Capacity of the whole declared roster, in client-equivalents."""
+        return sum(server.capacity for _, server in self.servers)
+
+    def validate_events(self, events) -> None:
+        """Replay up/down state so inconsistent capacity timelines fail
+        at session build time (unknown server, double-down, up-while-up)."""
+        up = {name: self.initially_up(name) for name in self.names}
+        for event in sorted(events, key=lambda e: (e.t_ms, e.rank)):
+            if event.server not in up:
+                raise ConfigurationError(
+                    f"{type(event).__name__} at {event.t_ms:g} ms names "
+                    f"unknown server {event.server!r}; fleet has {self.names}"
+                )
+            if isinstance(event, ServerUp):
+                if up[event.server]:
+                    raise ConfigurationError(
+                        f"ServerUp at {event.t_ms:g} ms: {event.server!r} "
+                        "is already up"
+                    )
+                up[event.server] = True
+            elif isinstance(event, (ServerDown, ServerFail)):
+                if not up[event.server]:
+                    raise ConfigurationError(
+                        f"{type(event).__name__} at {event.t_ms:g} ms: "
+                        f"{event.server!r} is already down"
+                    )
+                up[event.server] = False
+            else:
+                raise ConfigurationError(
+                    f"unknown capacity event {type(event).__name__}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Per-client planner state
+# ---------------------------------------------------------------------------
+
+
+class _FleetClientState(_ClientState):
+    """Session client bookkeeping plus placement history and queue rank."""
+
+    def __init__(self, index, spec, joined_ms, resolved) -> None:
+        super().__init__(index, spec, joined_ms, resolved)
+        self.assigned: str | None = None
+        self.last_server: str | None = None
+        self.placement_history: list[tuple[float, str | None]] = []
+        self.migrations = 0
+        self.queue_since = joined_ms
+        self.requeued = False
+        self.holdoff_ms: float | None = None
+        self.penalty_pending = False
+
+    def assign(self, t_ms: float, server: str) -> bool:
+        """Seat the client; returns True when this is a cross-server move."""
+        migrated = self.last_server is not None and self.last_server != server
+        if migrated:
+            self.migrations += 1
+        if not self.placement_history or self.placement_history[-1][1] != server:
+            self.placement_history.append((t_ms, server))
+        self.assigned = server
+        self.last_server = server
+        self.requeued = False
+        self.holdoff_ms = None
+        return migrated
+
+    def park(self, t_ms: float) -> None:
+        """Record a span with no server (rendering at the stall share)."""
+        if not self.placement_history or self.placement_history[-1][1] is not None:
+            self.placement_history.append((t_ms, None))
+
+    def displace(self, t_ms: float, drained: bool, requeue: bool) -> None:
+        """The client's server went away; decide its queueing fate.
+
+        A drained scale-down is planned: the client migrates gracefully
+        (no penalty) and keeps incumbent priority even under the naive
+        ``"requeue"`` mode, which models the handling of *unplanned*
+        displacement only.
+        """
+        self.assigned = None
+        if not drained:
+            self.penalty_pending = True
+        if requeue and not drained:
+            self.requeued = True
+            self.queue_since = t_ms
+            self.holdoff_ms = t_ms
+
+    def priority(self) -> tuple:
+        """Placement order: seated/serviced incumbents, then waiters FCFS."""
+        incumbent = self.assigned is not None or (
+            self.service_start is not None and not self.requeued
+        )
+        if incumbent:
+            start = (
+                self.service_start
+                if self.service_start is not None
+                else self.joined_ms
+            )
+            return (0, start, self.joined_ms, self.index)
+        return (1, self.queue_since, self.joined_ms, self.index)
+
+    def freeze(self, **kwargs):
+        row = super().freeze(**kwargs)
+        return replace(
+            row,
+            servers=tuple(self.placement_history),
+            migrations=self.migrations,
+        )
+
+
+#: Window-local share schedule of a fully stalled epoch.
+_STALLED = ((0.0, STALL_SHARE),)
+
+
+# ---------------------------------------------------------------------------
+# The fleet planner
+# ---------------------------------------------------------------------------
+
+
+def plan_fleet_timeline(
+    session: Session,
+    system: str = "qvr",
+    n_frames: int = 200,
+    seed: int = 0,
+    warmup_frames: int | None = None,
+) -> SessionTimeline:
+    """Epoch-by-epoch placement, migration, and re-allocation over a fleet.
+
+    The fleet-aware twin of the session's dynamic planner: every client
+    *or* capacity event opens a planning boundary where departures and
+    capacity losses apply first (the enforced same-timestamp order),
+    displaced clients are re-seated by the placement policy or parked,
+    freed capacity promotes waiters FCFS, and each server's rendering
+    throughput is re-allocated among the clients placed on it while the
+    session downlink is allocated across the whole serviced roster.  The
+    output is an ordinary :class:`~repro.sim.session.SessionTimeline`
+    whose epochs additionally carry placements and per-server occupancy
+    windows.
+    """
+    fleet = session.fleet
+    assert fleet is not None and session.platform is not None
+    duration_ms = n_frames * constants.FRAME_BUDGET_MS
+    horizon_ms = duration_ms * _HORIZON_SLACK
+    ordered = session.ordered_events()
+    for event in ordered:
+        if event.t_ms >= duration_ms:
+            raise ConfigurationError(
+                f"event at {event.t_ms:g} ms falls outside the nominal "
+                f"session ({n_frames} frames = {duration_ms:g} ms)"
+            )
+    default_network = session.platform.network
+    placement = placement_by_name(fleet.placement)
+    capacities = {name: fleet.server(name).capacity for name in fleet.names}
+
+    states = [
+        _FleetClientState(
+            index, spec, 0.0, spec.resolved_platform(session.platform)
+        )
+        for index, spec in enumerate(session.clients)
+    ]
+    up = {name: fleet.initially_up(name) for name in fleet.names}
+
+    events_at: dict[float, list] = {}
+    for event in ordered:
+        events_at.setdefault(event.t_ms, []).append(event)
+    boundaries = sorted(set(events_at) | {0.0})
+
+    epochs: list[Epoch] = []
+    for k, t0 in enumerate(boundaries):
+        t1 = boundaries[k + 1] if k + 1 < len(boundaries) else duration_ms
+        drained_now: set[str] = set()
+        lost_now: set[str] = set()
+        for event in events_at.get(t0, ()):
+            if isinstance(event, Join):
+                spec = _client_spec(event.spec)
+                states.append(
+                    _FleetClientState(
+                        len(states),
+                        spec,
+                        t0,
+                        spec.resolved_platform(session.platform),
+                    )
+                )
+            elif isinstance(event, Leave):
+                states[event.client].leave(t0)
+            elif isinstance(event, ProfileSwitch):
+                states[event.client].switch(t0, event.profile)
+            elif isinstance(event, ServerUp):
+                up[event.server] = True
+            elif isinstance(event, (ServerDown, ServerFail)):
+                up[event.server] = False
+                if isinstance(event, ServerDown) and event.drain:
+                    drained_now.add(event.server)
+                else:
+                    lost_now.add(event.server)
+        for state in states:
+            if state.assigned is None:
+                continue
+            if not state.present_at(t0):
+                state.assigned = None  # a leaver frees its seat silently
+            elif (
+                not up[state.assigned]
+                or state.assigned in drained_now
+                or state.assigned in lost_now
+            ):
+                # Down servers displace their clients even when a same-t
+                # ServerUp brings the box straight back: a fail/up blip
+                # still lost the in-flight state (penalty on re-seat).
+                state.displace(
+                    t0,
+                    drained=state.assigned in drained_now,
+                    requeue=fleet.migration == "requeue",
+                )
+
+        roster = sorted(
+            (s for s in states if s.present_at(t0)),
+            key=_FleetClientState.priority,
+        )
+        demands = tuple(
+            ClientDemand.estimate(
+                app=s.spec.app,
+                profile=s.profile(),
+                seed=seed + CLIENT_SEED_STRIDE * s.index + 7,
+                weight=s.spec.weight,
+                server=fleet.servers[0][1].config,
+            )
+            for s in roster
+        )
+        up_names = tuple(name for name in fleet.names if up[name])
+        loads = {name: 0.0 for name in up_names}
+        for s in roster:
+            if s.assigned is not None:
+                loads[s.assigned] += s.spec.weight
+
+        decisions: list[AdmissionDecision] = []
+        arrivals: dict[str, list[int]] = {}
+        migrated_in: dict[str, list[int]] = {}
+        for s, demand in zip(roster, demands):
+            if s.assigned is not None:
+                decisions.append(AdmissionDecision(s.index, "admit"))
+                continue
+            candidates = tuple(
+                name
+                for name in up_names
+                if fleet.server(name).fits(demand.weight, loads[name])
+            )
+            if not candidates or s.holdoff_ms == t0:
+                if s.service_start is None and fleet.overflow == "reject":
+                    s.rejected = True
+                    decisions.append(
+                        AdmissionDecision(s.index, "reject", service_level=0.0)
+                    )
+                else:
+                    decisions.append(
+                        AdmissionDecision(s.index, "queue", service_level=0.0)
+                    )
+                continue
+            target = placement.place(candidates, loads, capacities, s.last_server)
+            loads[target] += demand.weight
+            moved = s.assign(t0, target)
+            arrivals.setdefault(target, []).append(s.index)
+            if moved:
+                migrated_in.setdefault(target, []).append(s.index)
+            decisions.append(AdmissionDecision(s.index, "admit"))
+
+        placed = [s for s in roster if s.assigned is not None]
+        window_end = horizon_ms if k + 1 == len(boundaries) else t1
+        window = window_end - t0
+        if placed:
+            # The downlink is shared session-wide, so its split is
+            # computed over the whole placed roster; each server's
+            # rendering throughput is split only within its own group.
+            # When one server hosts everyone (the common single-server
+            # case) the two calls would be argument-identical, so one
+            # allocation serves both resources.
+            placed_demands = tuple(
+                d for s, d in zip(roster, demands) if s.assigned is not None
+            )
+            hosts = {s.assigned for s in placed}
+            session_alloc = fleet.server(
+                up_names[0] if len(hosts) > 1 else next(iter(hosts))
+            ).allocate(
+                placed_demands,
+                session.policy,
+                horizon_ms=window,
+                sharing_efficiency=session.sharing_efficiency,
+                service_levels=(1.0,) * len(placed),
+                start_ms=t0,
+            )
+            downlink_of = {
+                s.index: a.downlink for s, a in zip(placed, session_alloc)
+            }
+            server_of: dict[int, ShareSchedule] = {}
+            if len(hosts) == 1:
+                for s, allocation in zip(placed, session_alloc):
+                    server_of[s.index] = allocation.server
+            else:
+                for name in up_names:
+                    group = [
+                        (s, d)
+                        for s, d in zip(roster, demands)
+                        if s.assigned == name
+                    ]
+                    if not group:
+                        continue
+                    group_alloc = fleet.server(name).allocate(
+                        tuple(d for _, d in group),
+                        session.policy,
+                        horizon_ms=window,
+                        sharing_efficiency=session.sharing_efficiency,
+                        service_levels=(1.0,) * len(group),
+                        start_ms=t0,
+                    )
+                    for (s, _), allocation in zip(group, group_alloc):
+                        server_of[s.index] = allocation.server
+            for s in placed:
+                schedule = server_of[s.index]
+                if s.penalty_pending and fleet.migration_penalty_ms > 0:
+                    if fleet.migration_penalty_ms >= window:
+                        schedule = ShareSchedule(_STALLED)
+                    else:
+                        schedule = schedule.with_stall(
+                            fleet.migration_penalty_ms, STALL_SHARE
+                        )
+                s.penalty_pending = False
+                s.record_segments(
+                    t0,
+                    schedule.segments,
+                    downlink_of[s.index].segments,
+                    len(placed),
+                )
+        for s in roster:
+            # Parked: displaced with nowhere to go (or re-queued) — keep
+            # the run alive at the stall share until capacity returns.
+            if s.assigned is None and s.service_start is not None:
+                s.park(t0)
+                s.record_segments(t0, _STALLED, _STALLED, len(placed))
+        epochs.append(
+            Epoch(
+                start_ms=t0,
+                end_ms=t1,
+                decisions=tuple(decisions),
+                serviced=tuple(s.index for s in placed),
+                placements=tuple((s.index, s.assigned) for s in placed),
+                servers=tuple(
+                    ServerWindow(
+                        server=name,
+                        start_ms=t0,
+                        end_ms=t1,
+                        capacity=capacities[name],
+                        load=loads[name],
+                        clients=tuple(
+                            s.index for s in placed if s.assigned == name
+                        ),
+                        arrivals=tuple(arrivals.get(name, ())),
+                        migrated_in=tuple(migrated_in.get(name, ())),
+                    )
+                    for name in up_names
+                ),
+            )
+        )
+
+    client_rows = tuple(
+        state.freeze(
+            session=session,
+            system=system,
+            n_frames=n_frames,
+            seed=seed,
+            warmup_frames=warmup_frames,
+            duration_ms=duration_ms,
+            default_network=default_network,
+        )
+        for state in states
+    )
+    return SessionTimeline(
+        session=session,
+        n_frames=n_frames,
+        duration_ms=duration_ms,
+        epochs=tuple(epochs),
+        clients=client_rows,
+    )

@@ -24,7 +24,10 @@ from repro.errors import ConfigurationError
 __all__ = [
     "FrameRecord",
     "SimulationResult",
+    "ServerStats",
+    "ServerWindow",
     "WindowStats",
+    "aggregate_server_stats",
     "paper_fps",
     "tail_fps",
     "window_stats",
@@ -102,6 +105,82 @@ def window_stats(records, start_ms: float, end_ms: float) -> WindowStats:
             else float("nan")
         ),
     )
+
+
+@dataclass(frozen=True)
+class ServerWindow:
+    """One server's occupancy over one planning epoch of a fleet session.
+
+    The unit the render-fleet planner (:mod:`repro.sim.fleet`) emits per
+    up server per epoch: who was placed there, how much of its capacity
+    they consumed, and which clients arrived at this boundary —
+    ``migrated_in`` is the subset of ``arrivals`` displaced off another
+    server (scale-down, failure, or consolidation), the raw material of
+    the failover metrics.
+    """
+
+    server: str
+    start_ms: float
+    end_ms: float
+    capacity: float
+    load: float
+    clients: tuple[int, ...] = ()
+    arrivals: tuple[int, ...] = ()
+    migrated_in: tuple[int, ...] = ()
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the server's capacity placed clients consume."""
+        return self.load / self.capacity if self.capacity > 0 else float("nan")
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Whole-session aggregate of one server's :class:`ServerWindow` rows."""
+
+    server: str
+    up_ms: float
+    mean_utilisation: float
+    peak_load: float
+    distinct_clients: int
+    migrations_in: int
+
+
+def aggregate_server_stats(windows) -> tuple[ServerStats, ...]:
+    """Fold per-epoch :class:`ServerWindow` rows into per-server stats.
+
+    Servers appear in first-seen order; ``mean_utilisation`` is
+    time-weighted over the windows the server was up (epochs where it was
+    down contribute neither time nor load).  Zero-length windows (two
+    events at one instant) carry no weight.
+    """
+    order: list[str] = []
+    grouped: dict[str, list[ServerWindow]] = {}
+    for window in windows:
+        if window.server not in grouped:
+            order.append(window.server)
+            grouped[window.server] = []
+        grouped[window.server].append(window)
+    stats = []
+    for name in order:
+        rows = grouped[name]
+        up_ms = sum(r.end_ms - r.start_ms for r in rows)
+        weighted = sum(
+            r.utilisation * (r.end_ms - r.start_ms)
+            for r in rows
+            if not np.isnan(r.utilisation)
+        )
+        stats.append(
+            ServerStats(
+                server=name,
+                up_ms=up_ms,
+                mean_utilisation=weighted / up_ms if up_ms > 0 else float("nan"),
+                peak_load=max(r.load for r in rows),
+                distinct_clients=len({c for r in rows for c in r.clients}),
+                migrations_in=sum(len(r.migrated_in) for r in rows),
+            )
+        )
+    return tuple(stats)
 
 
 @dataclass(frozen=True)

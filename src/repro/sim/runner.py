@@ -110,9 +110,14 @@ class RunSpec:
     share *schedules*: ``server_allocation`` scales the rendering
     server's throughput over time and ``downlink_allocation`` scales the
     shared link, both as ``(start_ms, share)`` segments emitted by the
-    admission planner.  The neutral values (fair-share, no schedules)
-    hash exactly as specs did before these fields existed, so published
-    cache entries keep hitting.
+    admission planner.  Fleet sessions (:mod:`repro.sim.fleet`) reuse
+    the same two fields to carry their whole capacity story — migration
+    penalties and parked outage spans appear as starvation-share
+    segments spliced into the schedule — so a client of a failing,
+    autoscaling cluster still freezes to one ordinary, cacheable spec.
+    The neutral values (fair-share, no schedules) hash exactly as specs
+    did before these fields existed, so published cache entries keep
+    hitting.
 
     ``start_ms`` is the client's service start on the *session* clock —
     nonzero for a client of an event-driven session

@@ -310,6 +310,16 @@ class RenderServer:
             return self.capacity_clients
         return float(self.config.num_gpus)
 
+    def fits(self, weight: float, load: float = 0.0) -> bool:
+        """True when a client of ``weight`` fits beside ``load`` already placed.
+
+        The greedy capacity check shared by :meth:`admit` and the
+        render-fleet placement layer (:mod:`repro.sim.fleet`), so a
+        single-server fleet admits exactly the clients a bare server
+        would.
+        """
+        return load + weight <= self.capacity
+
     # -- admission -------------------------------------------------------------
 
     def admit(self, demands: tuple[ClientDemand, ...]) -> tuple[AdmissionDecision, ...]:
@@ -338,7 +348,7 @@ class RenderServer:
         admitted_weight = 0.0
         spill = "reject" if self.overflow == "reject" else "queue"
         for i, demand in enumerate(demands):
-            if admitted_weight + demand.weight <= self.capacity:
+            if self.fits(demand.weight, admitted_weight):
                 admitted_weight += demand.weight
                 decisions.append(AdmissionDecision(i, "admit"))
             else:

@@ -15,6 +15,9 @@ timeline —
 * :class:`Join` — a new client arrives mid-session;
 * :class:`Leave` — a client departs (freeing its server capacity);
 * :class:`ProfileSwitch` — a client's link changes (Wi-Fi to 4G roam);
+* the :class:`CapacityEvent` family (:mod:`repro.sim.fleet`) —
+  ``ServerUp`` / ``ServerDown`` / ``ServerFail`` grow and shrink a
+  *fleet* of named rendering servers mid-session;
 
 and :meth:`Session.timeline` re-plans the session at every event: the
 :class:`~repro.sim.server.RenderServer` re-runs admission over the
@@ -37,6 +40,7 @@ cache keys, bit-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, ClassVar
 
 import numpy as np
 
@@ -49,7 +53,13 @@ from repro.network.profile import (
     SwitchedProfile,
     as_profile,
 )
-from repro.sim.metrics import SimulationResult, WindowStats, window_stats
+from repro.sim.metrics import (
+    ServerWindow,
+    SimulationResult,
+    WindowStats,
+    aggregate_server_stats,
+    window_stats,
+)
 from repro.sim.runner import (
     BatchEngine,
     CLIENT_SEED_STRIDE,
@@ -65,8 +75,12 @@ from repro.sim.server import (
 )
 from repro.sim.systems import PlatformConfig
 
+if TYPE_CHECKING:  # imported lazily at runtime (fleet imports session)
+    from repro.sim.fleet import RenderFleet
+
 __all__ = [
     "SessionEvent",
+    "CapacityEvent",
     "Join",
     "Leave",
     "ProfileSwitch",
@@ -75,6 +89,7 @@ __all__ = [
     "ClientTimeline",
     "SessionTimeline",
     "SessionResult",
+    "events_from_motion",
     "simulate_session",
 ]
 
@@ -106,7 +121,23 @@ class SessionEvent:
     planned).  ``Leave`` and ``ProfileSwitch`` name clients by *session
     index*: initial clients count 0..n-1 in declaration order, and every
     ``Join`` appends the next index in event order.
+
+    Events sharing one timestamp apply in a **deterministic total
+    order**, not declaration order: first the events that free resources
+    (``Leave``, ``ServerDown``, ``ServerFail`` — rank 0), then link
+    switches (``ProfileSwitch`` — rank 1), then the events that claim
+    resources (``Join``, ``ServerUp`` — rank 2); declaration order only
+    breaks ties *within* a rank.  Capacity freed at an instant is thus
+    always visible to arrivals at the same instant, however the events
+    were listed — and a client cannot join and leave at the same
+    instant (the leave would order first and name a client that does
+    not exist yet).
     """
+
+    #: Same-timestamp application rank (see the class docstring); lower
+    #: ranks apply first.  Free resources (0) < switch links (1) < claim
+    #: resources (2).
+    rank: ClassVar[int] = 1
 
     t_ms: float
 
@@ -119,8 +150,35 @@ class SessionEvent:
 
 
 @dataclass(frozen=True)
+class CapacityEvent(SessionEvent):
+    """Base of the render-fleet capacity events (:mod:`repro.sim.fleet`).
+
+    Capacity events name a fleet server rather than a client, and —
+    unlike client events — may fire at t = 0: a ``ServerFail(0, ...)``
+    models a server that was supposed to be there and is not.  Sessions
+    carrying capacity events must declare a
+    :class:`~repro.sim.fleet.RenderFleet`.
+    """
+
+    server: str = ""
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.t_ms) or self.t_ms < 0:
+            raise ConfigurationError(
+                f"capacity-event time must be finite and >= 0 ms, got {self.t_ms}"
+            )
+        object.__setattr__(self, "t_ms", float(self.t_ms))
+        if not self.server:
+            raise ConfigurationError(
+                f"{type(self).__name__} needs a fleet server name"
+            )
+
+
+@dataclass(frozen=True)
 class Join(SessionEvent):
     """A new client arrives mid-session (admitted, degraded, or queued)."""
+
+    rank: ClassVar[int] = 2
 
     spec: "object" = None  # ClientSpec or app-name string
 
@@ -134,6 +192,8 @@ class Join(SessionEvent):
 @dataclass(frozen=True)
 class Leave(SessionEvent):
     """A client departs; its capacity frees for queued clients."""
+
+    rank: ClassVar[int] = 0
 
     client: int = -1
 
@@ -195,6 +255,12 @@ class Session:
         a default :class:`~repro.sim.server.RenderServer` otherwise; a
         session *with events* always runs the full admission pipeline,
         since even fair shares change when the roster does.
+    fleet:
+        A :class:`~repro.sim.fleet.RenderFleet` replacing the single
+        ``server`` with a roster of named servers whose capacity changes
+        through :class:`CapacityEvent`s; mutually exclusive with
+        ``server``.  A fleet session always runs the full placement
+        pipeline (the fleet *is* the admission controller).
     """
 
     clients: tuple = ()
@@ -203,6 +269,7 @@ class Session:
     sharing_efficiency: float = 0.9
     policy: str = "fair-share"
     server: RenderServer | None = None
+    fleet: "RenderFleet | None" = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_NAMES:
@@ -223,6 +290,21 @@ class Session:
                     f"events must be SessionEvent values, got "
                     f"{type(event).__name__}"
                 )
+        if self.fleet is not None and self.server is not None:
+            raise ConfigurationError(
+                "a session takes either a server or a fleet, not both "
+                "(the fleet owns the servers)"
+            )
+        capacity_events = tuple(
+            e for e in self.events if isinstance(e, CapacityEvent)
+        )
+        if capacity_events and self.fleet is None:
+            raise ConfigurationError(
+                "capacity events (ServerUp/ServerDown/ServerFail) require "
+                "a RenderFleet on the session"
+            )
+        if self.fleet is not None:
+            self.fleet.validate_events(capacity_events)
         self._validate_event_references()
         if not self.clients and not any(
             isinstance(e, Join) for e in self.events
@@ -236,6 +318,8 @@ class Session:
         known = len(self.clients)
         left: set[int] = set()
         for event in self.ordered_events():
+            if isinstance(event, CapacityEvent):
+                continue  # server references validated by the fleet
             if isinstance(event, Join):
                 known += 1
                 continue
@@ -254,8 +338,16 @@ class Session:
                 left.add(index)
 
     def ordered_events(self) -> tuple[SessionEvent, ...]:
-        """Events in application order: by time, ties in declaration order."""
-        return tuple(sorted(self.events, key=lambda e: e.t_ms))
+        """Events in application order: by time, then rank, then declaration.
+
+        The enforced total order at one instant is Leave/ServerDown/
+        ServerFail (free resources) before ProfileSwitch before
+        Join/ServerUp (claim resources) — see
+        :attr:`SessionEvent.rank` — with declaration order breaking ties
+        only within a rank, so two sessions listing the same events in a
+        different order plan identically.
+        """
+        return tuple(sorted(self.events, key=lambda e: (e.t_ms, e.rank)))
 
     @property
     def n_clients(self) -> int:
@@ -288,7 +380,22 @@ class Session:
         client freezes to one :class:`~repro.sim.runner.RunSpec` whose
         ``start_ms`` is its promotion instant and whose frame count
         covers its active window.
+
+        A session with a :attr:`fleet` plans through the fleet's
+        placement pipeline (:func:`repro.sim.fleet.plan_fleet_timeline`)
+        instead — per-server placement, migration and parking on top of
+        the same epoch walk.
         """
+        if self.fleet is not None:
+            from repro.sim.fleet import plan_fleet_timeline
+
+            return plan_fleet_timeline(
+                self,
+                system=system,
+                n_frames=n_frames,
+                seed=seed,
+                warmup_frames=warmup_frames,
+            )
         if not self.events:
             return self._static_timeline(system, n_frames, seed, warmup_frames)
         return self._dynamic_timeline(system, n_frames, seed, warmup_frames)
@@ -631,12 +738,30 @@ class _ClientState:
         return len(self.profile_history) > 1
 
     def record_service(self, t0: float, allocation, roster_size: int) -> None:
+        self.record_segments(
+            t0, allocation.server.segments, allocation.downlink.segments,
+            roster_size,
+        )
+
+    def record_segments(
+        self,
+        t0: float,
+        server_segments,
+        downlink_segments,
+        roster_size: int,
+    ) -> None:
+        """Append one epoch's window-local share schedules at offset ``t0``.
+
+        The hook the fleet planner uses directly: it records migration-
+        penalised and parked (starvation-share) epochs, which have no
+        single :class:`~repro.sim.server.SessionAllocation` behind them.
+        """
         if self.service_start is None:
             self.service_start = t0
         self.peak_roster = max(self.peak_roster, roster_size)
-        for start, share in allocation.server.segments:
+        for start, share in server_segments:
             _append_merged(self.server_segments, t0 + start, share)
-        for start, share in allocation.downlink.segments:
+        for start, share in downlink_segments:
             _append_merged(self.downlink_segments, t0 + start, share)
 
     def freeze(
@@ -736,12 +861,19 @@ class Epoch:
     service start, then waiters by arrival), with ``client_index``
     naming session indices; ``serviced`` lists the indices that actually
     render during the epoch.
+
+    Fleet sessions additionally fill ``placements`` (which named server
+    each serviced client renders on this epoch) and ``servers`` (one
+    :class:`~repro.sim.metrics.ServerWindow` of occupancy per up
+    server); both stay empty for single-server sessions.
     """
 
     start_ms: float
     end_ms: float
     decisions: tuple[AdmissionDecision, ...]
     serviced: tuple[int, ...]
+    placements: tuple[tuple[int, str], ...] = ()
+    servers: tuple[ServerWindow, ...] = ()
 
     @property
     def queued(self) -> tuple[int, ...]:
@@ -749,6 +881,13 @@ class Epoch:
         return tuple(
             d.client_index for d in self.decisions if d.action == "queue"
         )
+
+    def server_of(self, client: int) -> str | None:
+        """The fleet server a client renders on this epoch (None: none)."""
+        for index, name in self.placements:
+            if index == client:
+                return name
+        return None
 
 
 @dataclass(frozen=True)
@@ -759,6 +898,12 @@ class ClientTimeline:
     session clock (``None`` start: never serviced; ``None`` end: ran to
     the session's end).  ``run`` is the frozen executable spec, absent
     for clients that were rejected, or left while still queued.
+
+    Fleet sessions additionally fill ``servers`` — the client's
+    placement history as ``(t_ms, server)`` steps, where ``None`` marks
+    a parked span (displaced with nowhere to go, rendering at the
+    starvation share) — and ``migrations``, how many times the client
+    moved between servers.
     """
 
     index: int
@@ -767,6 +912,8 @@ class ClientTimeline:
     start_ms: float | None
     end_ms: float | None
     run: RunSpec | None
+    servers: tuple[tuple[float, str | None], ...] = ()
+    migrations: int = 0
 
     @property
     def serviced(self) -> bool:
@@ -809,6 +956,19 @@ class SessionTimeline:
             )
         return self.clients[index]
 
+    @property
+    def server_stats(self):
+        """Per-server utilisation/migration aggregates of a fleet session.
+
+        One :class:`~repro.sim.metrics.ServerStats` per fleet server that
+        was ever up, folded from the epochs'
+        :class:`~repro.sim.metrics.ServerWindow` rows; empty for
+        single-server sessions.
+        """
+        return aggregate_server_stats(
+            [window for epoch in self.epochs for window in epoch.servers]
+        )
+
     def plan(self):
         """The legacy single-epoch view (``MultiUserScenario.plan()``)."""
         from repro.sim.multiuser import SessionPlan
@@ -820,6 +980,76 @@ class SessionTimeline:
                 "timeline instead"
             )
         return SessionPlan(decisions=self.epochs[0].decisions, specs=self.specs)
+
+
+# ---------------------------------------------------------------------------
+# Motion-coupled event generation
+# ---------------------------------------------------------------------------
+
+
+def events_from_motion(
+    trace,
+    degraded: "NetworkProfile | NetworkConditions | str",
+    recovered: "NetworkProfile | NetworkConditions | str",
+    client: int = 0,
+    threshold: float = 0.5,
+    min_dwell_ms: float = 200.0,
+) -> tuple[ProfileSwitch, ...]:
+    """Synthesize degraded-link ``ProfileSwitch`` events from head motion.
+
+    The paper's controller exploits the motion/workload correlation
+    (Sec. 4.1, Fig. 8); on mmWave-class links the same bursts also break
+    the radio — fast head sweeps defeat beam alignment, so high
+    head-velocity windows coincide with throughput collapses.  This
+    helper scans a :class:`~repro.motion.traces.MotionTrace` for
+    sustained high-activity windows (``activity >= threshold`` for at
+    least ``min_dwell_ms``) and couples them to the link: the client
+    roams onto ``degraded`` (typically a checked-in ``data/`` 4G/5G
+    trace) at each window start and back onto ``recovered`` at each
+    window end.  Determinism is inherited from the trace: the same
+    (trace seed, thresholds) pair always emits the same events.
+
+    Windows still open at the trace's end emit only their opening
+    switch; a window starting at the very first sample starts at the
+    second sample instead (session events must fall strictly after
+    t = 0).  The returned events plug straight into
+    :attr:`Session.events` alongside any hand-written timeline.
+    """
+    degraded_profile = as_profile(degraded)
+    recovered_profile = as_profile(recovered)
+    if not 0 < threshold <= 1:
+        raise ConfigurationError(
+            f"activity threshold must be in (0, 1], got {threshold}"
+        )
+    if min_dwell_ms <= 0:
+        raise ConfigurationError(
+            f"min_dwell_ms must be > 0, got {min_dwell_ms}"
+        )
+    if client < 0:
+        raise ConfigurationError(f"client index must be >= 0, got {client}")
+    samples = list(trace)
+    events: list[ProfileSwitch] = []
+    window_start: float | None = None
+    for position, sample in enumerate(samples):
+        active = sample.activity >= threshold
+        if active and window_start is None:
+            window_start = sample.time_ms
+            if window_start <= 0 and position + 1 < len(samples):
+                window_start = samples[position + 1].time_ms
+        elif not active and window_start is not None:
+            if sample.time_ms - window_start >= min_dwell_ms:
+                events.append(
+                    ProfileSwitch(window_start, client, degraded_profile)
+                )
+                events.append(
+                    ProfileSwitch(sample.time_ms, client, recovered_profile)
+                )
+            window_start = None
+    if window_start is not None and samples:
+        closing = samples[-1].time_ms
+        if closing - window_start >= min_dwell_ms and window_start > 0:
+            events.append(ProfileSwitch(window_start, client, degraded_profile))
+    return tuple(events)
 
 
 # ---------------------------------------------------------------------------

@@ -7,7 +7,9 @@ from repro.analysis.calibration import ANCHORS, within_band
 from repro.analysis.experiments import (
     SIM_EXPERIMENTS,
     default_churn_session,
+    default_failover_session,
     default_netdrop_profile,
+    failover_recovery,
     fig15_energy,
     fig3_motivation,
     fig5_interaction_latency,
@@ -122,7 +124,7 @@ class TestBatchEngineRouting:
     def test_sim_experiments_registry_is_complete(self):
         assert set(SIM_EXPERIMENTS) == {
             "fig12", "fig13", "fig14", "table4", "fig15", "netdrop",
-            "admission", "churn",
+            "admission", "churn", "failover",
         }
 
     def test_table4_and_fig15_share_their_qvr_grid(self):
@@ -236,6 +238,59 @@ class TestChurn:
         )
         with pytest.raises(ValueError):
             session_churn(n_frames=60, trace=bad)
+
+
+class TestFailover:
+    """The failover experiment's acceptance prediction (migration)."""
+
+    def test_migration_beats_naive_requeue_on_the_displaced_tail(self):
+        rows = failover_recovery(n_frames=120)
+        displaced = {
+            r.mode: r for r in rows if r.role == "displaced"
+        }
+        assert set(displaced) == {"least-loaded", "requeue"}
+        assert displaced["least-loaded"].migrations == 1
+        assert displaced["requeue"].migrations == 0
+        assert displaced["requeue"].servers.endswith("~")
+        assert (
+            displaced["least-loaded"].window_p99_fps
+            > displaced["requeue"].window_p99_fps
+        )
+
+    def test_incumbent_pays_a_bounded_contention_tax(self):
+        """Hosting the refugee costs the incumbent some throughput, but it
+        keeps rendering (migration does not starve the survivor)."""
+        rows = failover_recovery(n_frames=120)
+        incumbents = {r.mode: r for r in rows if r.role == "incumbent"}
+        assert incumbents["least-loaded"].mean_fps > 0
+        assert (
+            incumbents["least-loaded"].window_p99_fps
+            <= incumbents["requeue"].window_p99_fps
+        )
+
+    def test_rows_cover_every_mode_and_client(self):
+        rows = failover_recovery(n_frames=120)
+        assert len(rows) == 4
+        assert {(r.mode, r.client) for r in rows} == {
+            ("least-loaded", 0), ("least-loaded", 1),
+            ("requeue", 0), ("requeue", 1),
+        }
+
+    def test_sessions_share_one_batch(self):
+        engine = BatchEngine()
+        first = failover_recovery(n_frames=120, engine=engine)
+        second = failover_recovery(n_frames=120, engine=engine)
+        assert first == second
+        assert engine.stats.cache_hits == engine.stats.executed == 4
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            default_failover_session(60, mode="coinflip")
+
+    def test_canonical_session_fails_the_heavy_server(self):
+        timeline = default_failover_session(120).timeline(n_frames=120)
+        assert timeline.epochs[0].server_of(1) == "b"
+        assert timeline.epochs[1].server_of(1) == "a"
 
 
 class TestReport:

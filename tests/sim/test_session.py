@@ -21,6 +21,7 @@ from repro.sim.session import (
     Leave,
     ProfileSwitch,
     Session,
+    events_from_motion,
     simulate_session,
 )
 from repro.sim.systems import PlatformConfig
@@ -440,16 +441,126 @@ class TestEpochPlanning:
         assert a.specs == b.specs
         assert a.epochs == b.epochs
 
-    def test_ties_at_one_instant_apply_in_declaration_order(self):
+    def test_ties_at_one_instant_apply_leave_first(self):
         n_frames = 60
         t = 0.4 * _duration(n_frames)
-        # Join listed first, leave second, same instant: both apply
-        # before re-admission, so the joiner takes the freed slot.
+        # However the two are declared, the leave (rank 0) applies before
+        # the join (rank 2), so the joiner takes the freed slot.
         session = _queue_session(
             n_frames, (Join(t, "Doom3-L"), Leave(t, client=0))
         )
         timeline = session.timeline(n_frames=n_frames)
         assert timeline.client(2).start_ms == pytest.approx(t)
+
+
+class TestSameTimestampOrdering:
+    """Regression: equal-t events follow the documented total order, not
+    implicit declaration order (Leave/Fail rank 0 < switch 1 < Join/Up 2)."""
+
+    def test_declaration_order_of_tied_events_is_irrelevant(self):
+        n_frames = 60
+        t = 0.4 * _duration(n_frames)
+        one = _queue_session(
+            n_frames, (Join(t, "Doom3-L"), Leave(t, client=0))
+        )
+        other = _queue_session(
+            n_frames, (Leave(t, client=0), Join(t, "Doom3-L"))
+        )
+        a = one.timeline(n_frames=n_frames)
+        b = other.timeline(n_frames=n_frames)
+        assert a.specs == b.specs
+        assert [spec_key(s) for s in a.specs] == [spec_key(s) for s in b.specs]
+        assert a.epochs == b.epochs
+
+    def test_ordered_events_sorts_by_rank_within_an_instant(self):
+        t = 500.0
+        join = Join(t, "Doom3-L")
+        leave = Leave(t, client=0)
+        switch = ProfileSwitch(t, client=1, profile="4g")
+        session = Session(
+            clients=("GRID", "Doom3-L"), events=(join, switch, leave)
+        )
+        assert session.ordered_events() == (leave, switch, join)
+
+    def test_tied_joins_keep_declaration_order(self):
+        """Within one rank, declaration order still assigns indices."""
+        n_frames = 60
+        t = 0.4 * _duration(n_frames)
+        session = _queue_session(
+            n_frames,
+            (Join(t, "GRID"), Join(t, "Doom3-L"), Leave(t, client=0),
+             Leave(t, client=1)),
+        )
+        timeline = session.timeline(n_frames=n_frames)
+        assert timeline.client(2).spec.app == "GRID"
+        assert timeline.client(3).spec.app == "Doom3-L"
+
+    def test_join_and_leave_of_the_same_client_at_one_instant_rejected(self):
+        """The leave orders first, so it names a not-yet-existing client."""
+        t = 500.0
+        with pytest.raises(ConfigurationError):
+            Session(
+                clients=("GRID",),
+                events=(Join(t, "Doom3-L"), Leave(t, client=1)),
+            )
+
+
+class TestEventsFromMotion:
+    def _trace(self, n_frames=200, seed=0):
+        from repro import constants as c
+        from repro.motion.traces import generate_trace
+
+        return generate_trace(n_frames, c.FRAME_BUDGET_MS, 1920, 2160, seed=seed)
+
+    def test_emits_paired_switches_for_sustained_bursts(self):
+        trace = self._trace(400, seed=0)
+        events = events_from_motion(
+            trace, degraded="4g", recovered="wifi", client=1
+        )
+        assert events, "seed 0 contains sustained high-velocity windows"
+        assert len(events) % 2 == 0
+        assert all(isinstance(e, ProfileSwitch) for e in events)
+        assert all(e.client == 1 for e in events)
+        for opening, closing in zip(events[::2], events[1::2]):
+            assert opening.t_ms < closing.t_ms
+            assert opening.profile == ConstantProfile(LTE_4G)
+            assert closing.profile == ConstantProfile(WIFI)
+
+    def test_deterministic_for_a_seed(self):
+        a = events_from_motion(self._trace(), degraded="4g", recovered="wifi")
+        b = events_from_motion(self._trace(), degraded="4g", recovered="wifi")
+        assert a == b
+
+    def test_thresholds_gate_event_generation(self):
+        trace = self._trace(200, seed=0)
+        none = events_from_motion(
+            trace, degraded="4g", recovered="wifi", threshold=1.0
+        )
+        assert none == ()
+        strict = events_from_motion(
+            trace, degraded="4g", recovered="wifi", min_dwell_ms=1e6
+        )
+        assert strict == ()
+
+    def test_events_plug_into_a_session(self):
+        n_frames = 200
+        trace = self._trace(n_frames, seed=0)
+        events = events_from_motion(trace, degraded="4g", recovered="wifi")
+        session = Session(clients=("GRID", "Doom3-L"), events=events)
+        timeline = session.timeline(n_frames=n_frames)
+        assert len(timeline.epochs) == len(events) + 1
+
+    def test_parameter_validation(self):
+        trace = self._trace(30)
+        with pytest.raises(ConfigurationError):
+            events_from_motion(trace, degraded="4g", recovered="wifi",
+                               threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            events_from_motion(trace, degraded="4g", recovered="wifi",
+                               min_dwell_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            events_from_motion(trace, degraded="4g", recovered="wifi",
+                               client=-1)
 
 
 class TestLateStartSampling:

@@ -53,8 +53,8 @@ class TestBatchCommand:
     def test_batch_defaults_to_all_sim_experiments(self):
         args = build_parser().parse_args(["batch"])
         assert args.experiments == [
-            "admission", "churn", "fig12", "fig13", "fig14", "fig15",
-            "netdrop", "table4",
+            "admission", "churn", "failover", "fig12", "fig13", "fig14",
+            "fig15", "netdrop", "table4",
         ]
         assert args.jobs == 1
         assert args.cache_dir is None
@@ -226,3 +226,117 @@ class TestSessionEventsCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "queue" in out
+
+
+class TestFleetCommand:
+    def _write(self, tmp_path, name, payload):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def _fleet(self, tmp_path, **overrides):
+        payload = {
+            "servers": {"a": 2.0, "b": {"capacity": 1.0}},
+            "placement": "least-loaded",
+        }
+        payload.update(overrides)
+        return self._write(tmp_path, "fleet.json", payload)
+
+    def test_fleet_failover_session_runs(self, capsys, tmp_path):
+        fleet = self._fleet(tmp_path)
+        events = self._write(
+            tmp_path, "events.json",
+            {"events": [{"t_ms": 300.0, "fail": "b"}]},
+        )
+        code = main(
+            ["scenarios", "--clients", "Doom3-L", "GRID",
+             "--fleet", fleet, "--events", events, "--frames", "90"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-server occupancy" in out
+        assert "fleet summary" in out
+        assert "b->a" in out
+        assert "least-loaded placement" in out
+
+    def test_fleet_without_events_runs(self, capsys, tmp_path):
+        fleet = self._fleet(tmp_path)
+        assert main(
+            ["scenarios", "--clients", "GRID", "Doom3-L",
+             "--fleet", fleet, "--frames", "40"]
+        ) == 0
+        assert "fleet summary" in capsys.readouterr().out
+
+    def test_capacity_events_in_files_parse_up_down_drain(self, capsys, tmp_path):
+        fleet = self._fleet(tmp_path, initial=["a"])
+        events = self._write(
+            tmp_path, "events.json",
+            {"events": [
+                {"t_ms": 200.0, "up": "b"},
+                {"t_ms": 400.0, "down": "b", "drain": False},
+            ]},
+        )
+        assert main(
+            ["scenarios", "--clients", "GRID", "Doom3-L",
+             "--fleet", fleet, "--events", events, "--frames", "90"]
+        ) == 0
+        assert "per-server occupancy" in capsys.readouterr().out
+
+    def test_fleet_conflicts_with_capacity_and_overflow(self, tmp_path):
+        fleet = self._fleet(tmp_path)
+        with pytest.raises(ConfigurationError):
+            main(
+                ["scenarios", "--clients", "GRID", "--fleet", fleet,
+                 "--capacity", "2", "--frames", "40"]
+            )
+
+    def test_capacity_events_without_fleet_rejected(self, tmp_path):
+        events = self._write(
+            tmp_path, "events.json",
+            {"events": [{"t_ms": 200.0, "fail": "b"}]},
+        )
+        with pytest.raises(ConfigurationError):
+            main(
+                ["scenarios", "--clients", "GRID",
+                 "--events", events, "--frames", "40"]
+            )
+
+    def test_malformed_fleet_rejected(self, tmp_path):
+        for payload in (
+            {"servers": {}},                               # empty
+            {"servers": {"a": "big"}},                     # bad capacity
+            {"servers": {"a": 1.0}, "warp": True},         # unknown key
+            {"placement": "least-loaded"},                 # no servers
+            "not-an-object",
+        ):
+            fleet = self._write(tmp_path, "fleet.json", payload)
+            with pytest.raises(ConfigurationError):
+                main(
+                    ["scenarios", "--clients", "GRID",
+                     "--fleet", fleet, "--frames", "40"]
+                )
+        with pytest.raises(ConfigurationError):
+            main(
+                ["scenarios", "--clients", "GRID",
+                 "--fleet", str(tmp_path / "missing.json"), "--frames", "40"]
+            )
+
+    def test_motion_events_flag_runs(self, capsys):
+        code = main(
+            ["scenarios", "--clients", "GRID", "Doom3-L",
+             "--motion-events", "4g", "--frames", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epochs" in out
+        assert "aggregate:" in out
+
+    def test_motion_events_compose_with_a_fleet(self, capsys, tmp_path):
+        fleet = self._fleet(tmp_path)
+        assert main(
+            ["scenarios", "--clients", "GRID", "Doom3-L",
+             "--motion-events", "4g", "--frames", "200", "--fleet", fleet]
+        ) == 0
+        assert "fleet summary" in capsys.readouterr().out
