@@ -4,17 +4,23 @@ Runs one multi-point figure sweep (the Fig. 12 grid: six system designs
 across the Table 3 titles) three ways and writes a ``BENCH_batch.json``
 timing artifact:
 
-* ``serial_s`` — one spec at a time, no pool, no cache (the pre-engine
-  execution model);
+* ``scalar_serial_s`` — one spec at a time on the scalar task-graph
+  oracle (the original per-frame execution model);
+* ``serial_s`` — one spec at a time on the requested ``--engine``
+  (default: the vectorized frame kernels);
 * ``parallel_cold_s`` — the batch engine at ``--jobs`` workers with a
   cold on-disk cache;
 * ``parallel_warm_s`` — the same engine invoked again, so every spec is
   answered by the cache.
 
+``kernel_speedup`` is ``scalar_serial_s`` over ``serial_s`` — the
+per-spec win of the array-programmed kernels, measured in the same
+process on the same machine (the ratio the regression gate tracks).
 ``speedup`` is ``serial_s`` over the best batched time.  On a multi-core
 machine the cold pool already wins; on a single core the win comes from
 memoization (``cpu_count`` is recorded so readers can tell which).  The
-script also verifies that serial and parallel results are bit-identical.
+script also verifies that scalar, serial and parallel results are all
+bit-identical.
 
 Usage::
 
@@ -30,30 +36,39 @@ import pickle
 import sys
 import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 
-from repro.sim.runner import BatchEngine, Sweep, run
+from repro.sim.runner import BatchEngine, ENGINE_NAMES, Sweep, run
 from repro.workloads.apps import TABLE3_ORDER
 
 #: The Fig. 12 design spectrum — the sweep every machine can complete fast.
 SYSTEMS = ("local", "static", "ffr", "dfr", "sw-qvr", "qvr")
 
 
-def bench(jobs: int, n_frames: int, seed: int) -> dict:
-    """Time the three execution modes over one Fig. 12-style sweep."""
+def bench(jobs: int, n_frames: int, seed: int, engine: str = "vector") -> dict:
+    """Time the execution modes over one Fig. 12-style sweep."""
     sweep = Sweep(
-        systems=SYSTEMS, apps=TABLE3_ORDER, seeds=(seed,), n_frames=n_frames
+        systems=SYSTEMS,
+        apps=TABLE3_ORDER,
+        seeds=(seed,),
+        n_frames=n_frames,
+        engine=engine,
     )
     specs = sweep.specs()
+
+    start = time.perf_counter()
+    scalar = [run(replace(spec, engine="scalar")) for spec in specs]
+    scalar_serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
     serial = [run(spec) for spec in specs]
     serial_s = time.perf_counter() - start
 
     with tempfile.TemporaryDirectory(prefix="qvr-bench-cache-") as cache_dir:
-        engine = BatchEngine(jobs=jobs, cache_dir=cache_dir)
+        cold_engine = BatchEngine(jobs=jobs, cache_dir=cache_dir)
         start = time.perf_counter()
-        cold = engine.run_specs(specs)
+        cold = cold_engine.run_specs(specs)
         parallel_cold_s = time.perf_counter() - start
 
         warm_engine = BatchEngine(jobs=jobs, cache_dir=cache_dir)
@@ -65,7 +80,8 @@ def bench(jobs: int, n_frames: int, seed: int) -> dict:
     identical = all(
         pickle.dumps(cold[spec]) == pickle.dumps(result)
         and pickle.dumps(warm[spec]) == pickle.dumps(result)
-        for spec, result in zip(specs, serial)
+        and pickle.dumps(oracle) == pickle.dumps(result)
+        for spec, result, oracle in zip(specs, serial, scalar)
     )
     best_batched_s = min(parallel_cold_s, parallel_warm_s)
     return {
@@ -76,8 +92,11 @@ def bench(jobs: int, n_frames: int, seed: int) -> dict:
             "n_frames": n_frames,
             "seed": seed,
         },
+        "engine": engine,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
+        "scalar_serial_s": round(scalar_serial_s, 3),
+        "kernel_speedup": round(scalar_serial_s / serial_s, 2),
         "serial_s": round(serial_s, 3),
         "parallel_cold_s": round(parallel_cold_s, 3),
         "parallel_warm_s": round(parallel_warm_s, 3),
@@ -94,14 +113,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--frames", type=int, default=120)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--engine", default="vector", choices=list(ENGINE_NAMES))
     parser.add_argument("--out", default="BENCH_batch.json")
     args = parser.parse_args(argv)
 
-    report = bench(jobs=args.jobs, n_frames=args.frames, seed=args.seed)
+    report = bench(
+        jobs=args.jobs, n_frames=args.frames, seed=args.seed, engine=args.engine
+    )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if not report["bit_identical"]:
-        print("ERROR: serial and batched results diverged", file=sys.stderr)
+        print("ERROR: scalar/serial/batched results diverged", file=sys.stderr)
         return 1
     return 0
 

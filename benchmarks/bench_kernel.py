@@ -1,0 +1,108 @@
+"""Frame-kernel microbenchmark: scalar oracle vs vectorized kernels.
+
+Times every system design (all seven, including ``remote``, which the
+Fig. 12 sweep of ``bench_batch.py`` omits) across the Table 3 titles on
+both execution engines, one spec at a time in one process, and writes a
+``BENCH_kernel.json`` artifact:
+
+* per-system scalar and vectorized wall time, per-spec means, and the
+  per-system speedup — the breakdown that shows where kernel time goes
+  (the software controller's direct lattice sweeps make ``sw-qvr`` the
+  slowest vectorized system by far);
+* aggregate ``kernel_speedup`` — total scalar time over total vectorized
+  time, the same headline ratio ``bench_batch.py`` embeds in
+  ``BENCH_batch.json`` for the regression gate.
+
+Every timed pair is also checked for bit-identical results, so the
+benchmark doubles as a quick parity smoke test.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --frames 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.sim.runner import RunSpec, Sweep, run
+from repro.sim.systems import SYSTEM_NAMES
+from repro.workloads.apps import TABLE3_ORDER
+
+
+def bench(n_frames: int, seed: int) -> dict:
+    """Time both engines per system over the Table 3 titles."""
+    sweep = Sweep(
+        systems=SYSTEM_NAMES, apps=TABLE3_ORDER, seeds=(seed,), n_frames=n_frames
+    )
+    by_system: dict[str, list[RunSpec]] = {name: [] for name in SYSTEM_NAMES}
+    for spec in sweep.specs():
+        by_system[spec.system].append(spec)
+
+    per_system: dict[str, dict] = {}
+    identical = True
+    total_scalar_s = 0.0
+    total_vector_s = 0.0
+    for system, specs in by_system.items():
+        start = time.perf_counter()
+        scalar = [run(replace(spec, engine="scalar")) for spec in specs]
+        scalar_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        vector = [run(replace(spec, engine="vector")) for spec in specs]
+        vector_s = time.perf_counter() - start
+
+        identical = identical and all(
+            pickle.dumps(a) == pickle.dumps(b) for a, b in zip(scalar, vector)
+        )
+        total_scalar_s += scalar_s
+        total_vector_s += vector_s
+        per_system[system] = {
+            "n_specs": len(specs),
+            "scalar_s": round(scalar_s, 3),
+            "vector_s": round(vector_s, 3),
+            "scalar_ms_per_spec": round(1000.0 * scalar_s / len(specs), 2),
+            "vector_ms_per_spec": round(1000.0 * vector_s / len(specs), 2),
+            "speedup": round(scalar_s / vector_s, 2),
+        }
+
+    return {
+        "sweep": {
+            "systems": list(SYSTEM_NAMES),
+            "apps": list(TABLE3_ORDER),
+            "n_specs": len(sweep),
+            "n_frames": n_frames,
+            "seed": seed,
+        },
+        "per_system": per_system,
+        "scalar_serial_s": round(total_scalar_s, 3),
+        "vector_serial_s": round(total_vector_s, 3),
+        "kernel_speedup": round(total_scalar_s / total_vector_s, 2),
+        "bit_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    args = parser.parse_args(argv)
+
+    report = bench(n_frames=args.frames, seed=args.seed)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["bit_identical"]:
+        print("ERROR: scalar and vectorized results diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@ committed ``BENCH_batch.json`` baseline:
   cancels and the gate tracks engine overhead, not runner hardware —
   unlike the warm-cache ratio, whose denominator is ~20 ms of cache
   lookups and which therefore swings with absolute CPU speed;
+* ``kernel_speedup`` (scalar-oracle time over vectorized-kernel time,
+  both from the same fresh run) must not fall by more than
+  ``--max-kernel-regression`` (default 25%).  This is the headline win
+  of the array-programmed frame kernels; baselines written before the
+  field existed are reported informationally instead of gated;
 * ``serial_s`` (the plain one-spec-at-a-time wall time, a proxy for the
   simulator's own speed) must not grow by more than
   ``--max-serial-slowdown`` (default 50%).  This is an absolute time
@@ -50,6 +55,7 @@ def compare(
     fresh: dict,
     max_speedup_regression: float,
     max_serial_slowdown: float,
+    max_kernel_regression: float = 0.25,
 ) -> tuple[list[list[str]], list[str]]:
     """Build the comparison table and the list of violated limits."""
     failures: list[str] = []
@@ -73,6 +79,42 @@ def compare(
             f"parallel speedup regressed more than "
             f"{max_speedup_regression:.0%}: {_fmt(base_speedup)}x -> "
             f"{_fmt(new_speedup)}x (floor {_fmt(speedup_floor)}x)"
+        )
+
+    # The vectorized-kernel speedup shares the ratio-of-same-run structure
+    # of speedup_cold: scalar oracle and vector kernels are timed in the
+    # same process, so machine speed cancels and the gate tracks kernel
+    # efficiency.  Older baselines predate the field, hence the guard on
+    # the baseline side only — the fresh side must always report it.
+    new_kernel = float(fresh["kernel_speedup"])
+    if "kernel_speedup" in baseline:
+        base_kernel = float(baseline["kernel_speedup"])
+        kernel_floor = base_kernel * (1.0 - max_kernel_regression)
+        kernel_ok = new_kernel >= kernel_floor
+        rows.append(
+            [
+                "kernel speedup (scalar oracle / vector)",
+                f"{_fmt(base_kernel)}x",
+                f"{_fmt(new_kernel)}x",
+                f">= {_fmt(kernel_floor)}x",
+                "ok" if kernel_ok else "REGRESSED",
+            ]
+        )
+        if not kernel_ok:
+            failures.append(
+                f"vectorized-kernel speedup regressed more than "
+                f"{max_kernel_regression:.0%}: {_fmt(base_kernel)}x -> "
+                f"{_fmt(new_kernel)}x (floor {_fmt(kernel_floor)}x)"
+            )
+    else:
+        rows.append(
+            [
+                "kernel speedup (scalar oracle / vector)",
+                "-",
+                f"{_fmt(new_kernel)}x",
+                "-",
+                "info",
+            ]
         )
 
     base_serial = float(baseline["serial_s"])
@@ -164,12 +206,21 @@ def main(argv: list[str] | None = None) -> int:
         "--max-serial-slowdown", type=float, default=0.50,
         help="tolerated relative serial wall-time growth (default: 0.50 = 50%%)",
     )
+    parser.add_argument(
+        "--max-kernel-regression", type=float, default=0.25,
+        help="tolerated relative vectorized-kernel speedup loss "
+        "(default: 0.25 = 25%%)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(Path(args.baseline).read_text())
     fresh = json.loads(Path(args.fresh).read_text())
     rows, failures = compare(
-        baseline, fresh, args.max_speedup_regression, args.max_serial_slowdown
+        baseline,
+        fresh,
+        args.max_speedup_regression,
+        args.max_serial_slowdown,
+        args.max_kernel_regression,
     )
     report = render_markdown(rows, failures)
     print(report)

@@ -70,7 +70,13 @@ from repro.sim.multiuser import (
     MultiUserScenario,
     simulate_shared_infrastructure,
 )
-from repro.sim.runner import BatchEngine, ResultCache, run_comparison, speedup_over
+from repro.sim.runner import (
+    BatchEngine,
+    ENGINE_NAMES,
+    ResultCache,
+    run_comparison,
+    speedup_over,
+)
 from repro.sim.server import OVERFLOW_MODES, POLICY_NAMES, RenderServer
 from repro.sim.session import (
     Join,
@@ -95,6 +101,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None,
         help="directory for the on-disk result cache (default: no cache)",
+    )
+    parser.add_argument(
+        "--engine", default="vector", choices=list(ENGINE_NAMES),
+        help="execution engine: the array-programmed frame kernels "
+        "(vector, default) or the per-frame task-graph reference oracle "
+        "(scalar); both produce bit-identical results",
     )
 
 
@@ -206,7 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _engine_from(args: argparse.Namespace) -> BatchEngine:
-    return BatchEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+    return BatchEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        engine=getattr(args, "engine", None),
+    )
 
 
 def _cmd_compare(args: argparse.Namespace) -> None:
@@ -318,7 +334,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
             rows,
             title=(
                 f"repro batch — {len(args.experiments)} experiments, "
-                f"jobs={args.jobs}, frames={args.frames}"
+                f"engine={args.engine}, jobs={args.jobs}, frames={args.frames}"
                 + (f", profile={args.profile}" if args.profile else "")
             ),
         )
@@ -577,7 +593,8 @@ def _cmd_session(args: argparse.Namespace, clients: tuple[ClientSpec, ...]) -> N
             ],
             title=(
                 f"{args.system} — session of {len(timeline.clients)} clients, "
-                f"{len(timeline.epochs)} epochs, {args.policy} scheduling"
+                f"{len(timeline.epochs)} epochs, {args.policy} scheduling, "
+                f"{args.engine} engine"
                 + (f", {fleet.placement} placement" if fleet is not None else "")
             ),
         )
@@ -731,7 +748,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
             rows,
             title=(
                 f"{args.system} — {scenario.n_clients} heterogeneous clients, "
-                f"shared server + downlink, {args.policy} scheduling"
+                f"shared server + downlink, {args.policy} scheduling, "
+                f"{args.engine} engine"
             ),
         )
     )

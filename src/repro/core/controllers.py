@@ -24,8 +24,6 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro import constants
 from repro.core.liwc import LIWC, LIWCConfig
 from repro.errors import ControllerError
@@ -139,8 +137,16 @@ class SoftwareAdaptiveController(EccentricityController):
 
     def select_e1(self, context: ControlContext) -> float:
         if self._last_imbalance_ms is not None:
-            step = float(np.clip(self.gain * self._last_imbalance_ms, -5.0, 5.0))
-            self.e1_deg = float(np.clip(self.e1_deg + step, self.min_e1, self.max_e1))
+            # Branchy clamps instead of np.clip: identical bits for finite
+            # floats, without the per-frame numpy scalar dispatch cost.
+            step = self.gain * self._last_imbalance_ms
+            step = -5.0 if step < -5.0 else 5.0 if step > 5.0 else step
+            e1 = self.e1_deg + step
+            self.e1_deg = (
+                self.min_e1 if e1 < self.min_e1
+                else self.max_e1 if e1 > self.max_e1
+                else e1
+            )
         return self.e1_deg
 
     def observe(self, feedback: ControlFeedback) -> None:

@@ -363,13 +363,12 @@ class LIWC:
             action_index=action_index,
             predicted_diff_ms=diff,
         )
-        self.e1_deg = float(
-            np.clip(
-                self.e1_deg + ACTIONS_DEG[action_index],
-                self.config.min_e1_deg,
-                self.config.max_e1_deg,
-            )
-        )
+        # Branchy clamp instead of np.clip: identical bits for finite
+        # floats, without the per-frame numpy scalar dispatch cost.
+        e1 = self.e1_deg + ACTIONS_DEG[action_index]
+        lo = self.config.min_e1_deg
+        hi = self.config.max_e1_deg
+        self.e1_deg = lo if e1 < lo else hi if e1 > hi else e1
         return self.e1_deg
 
     # -- runtime updater ---------------------------------------------------------

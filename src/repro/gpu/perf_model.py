@@ -20,12 +20,18 @@ All stage outputs are exposed for tests and the energy model.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from repro.errors import WorkloadError
+from repro.errors import ConfigurationError, WorkloadError
 from repro.gpu.cache import CacheModel
 from repro.gpu.config import GPUConfig
-from repro.gpu.raster import RasterModel
+from repro.gpu.raster import (
+    _BIN_INSERT_CYCLES,
+    _TILE_WALK_CYCLES,
+    _TRIANGLE_SETUP_CYCLES,
+    RasterModel,
+)
 
 __all__ = ["RenderWorkload", "FrameTiming", "GPUPerfModel"]
 
@@ -143,6 +149,15 @@ class GPUPerfModel:
         self.config = config
         self.cache = CacheModel(config)
         self.raster = RasterModel(config)
+        # Precomputed config scalars for the hot :meth:`render_time_ms`
+        # fast path.  Each equals the corresponding per-call property value
+        # exactly, so the fast path is bit-identical to the full breakdown.
+        self._shade_rate = config.shading_rate_per_ms
+        self._cycles_per_ms = config.frequency_hz / 1000.0
+        self._l1_capacity = config.l1_kb * 1024 * config.num_shaders
+        self._l2_capacity = config.l2_kb * 1024
+        self._dram_bw = config.dram_bandwidth_bytes_per_ms
+        self._fixed_ms = _FRAME_FIXED_CYCLES / self._cycles_per_ms
 
     def frame_timing(self, workload: RenderWorkload) -> FrameTiming:
         """Compute the stage breakdown for one frame."""
@@ -178,8 +193,75 @@ class GPUPerfModel:
         )
 
     def render_time_ms(self, workload: RenderWorkload) -> float:
-        """Frame render time in milliseconds."""
-        return self.frame_timing(workload).total_ms
+        """Frame render time in milliseconds.
+
+        Inline replica of ``frame_timing(workload).total_ms`` — the same
+        arithmetic in the same order, without materialising the three
+        per-stage breakdown objects.  This runs once per rendered frame on
+        every simulated system, so the constant-factor savings matter;
+        ``tests/gpu`` pin its equality with the full breakdown.
+        """
+        cfg = self.config
+        shade_rate = self._shade_rate
+        vertices = workload.vertices
+        fragments = workload.fragments
+
+        geometry_ms = vertices * _VERTEX_CYCLES / shade_rate
+        fragment_ms = fragments * workload.fragment_cycles / shade_rate
+
+        # RasterModel.estimate / RasterEstimate.total_cycles
+        if vertices < 0:
+            raise ConfigurationError(f"triangles must be >= 0, got {vertices}")
+        if vertices <= 0:
+            tiles = 0.0
+        else:
+            if fragments < 0:
+                raise ConfigurationError(
+                    f"fragments must be >= 0, got {fragments}"
+                )
+            side = math.sqrt(max(fragments / vertices, 0.0))
+            tiles = (side / cfg.raster_tile_px + 1.0) ** 2
+        raster_cycles = (
+            vertices * _TRIANGLE_SETUP_CYCLES
+            + vertices * tiles * _BIN_INSERT_CYCLES
+            + vertices * tiles * _TILE_WALK_CYCLES
+        )
+        raster_ms = raster_cycles / self._cycles_per_ms
+
+        # CacheModel.frame_traffic
+        tex_per_fragment = (
+            workload.texture_bytes_per_fragment * cfg.anisotropic_taps / 4.0
+        )
+        if fragments < 0 or tex_per_fragment < 0:
+            raise ConfigurationError(
+                "fragment counts and request sizes must be >= 0"
+            )
+        requests = fragments * tex_per_fragment
+        working_set = workload.texture_working_set_bytes
+        if working_set <= 0:
+            l1_hit = 1.0
+        elif self._l1_capacity <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        else:
+            l1_hit = min(1.0, math.sqrt(self._l1_capacity / working_set))
+        l1_miss = requests * (1.0 - l1_hit)
+        residual_ws = working_set * (1.0 - l1_hit)
+        if residual_ws <= 0:
+            l2_hit = 1.0
+        elif self._l2_capacity <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        else:
+            l2_hit = min(1.0, math.sqrt(self._l2_capacity / residual_ws))
+        dram_bytes = l1_miss * (1.0 - l2_hit)
+
+        total_dram_bytes = dram_bytes + fragments * _ROP_BYTES_PER_FRAGMENT
+        dram_ms = total_dram_bytes / self._dram_bw
+
+        batch_overhead_ms = (
+            workload.draw_batches * _BATCH_LAUNCH_CYCLES / self._cycles_per_ms
+        )
+        parallel = max(geometry_ms + fragment_ms, dram_ms, raster_ms)
+        return parallel + batch_overhead_ms + self._fixed_ms
 
     def throughput_triangles_per_ms(self, workload: RenderWorkload) -> float:
         """Observed triangle throughput ``P(GPU_m)`` of paper Eq. (2).

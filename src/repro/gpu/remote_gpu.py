@@ -31,11 +31,14 @@ class RemoteRenderer:
     ) -> None:
         self.server = server if server is not None else RemoteServerConfig()
         self.reference = GPUPerfModel(reference_gpu if reference_gpu is not None else GPUConfig())
+        # The aggregate speedup is a pure function of the (frozen) server
+        # config; evaluate the log/pow chain once instead of per frame.
+        self._effective_speedup = self.server.effective_speedup
 
     def render_time_ms(self, workload: RenderWorkload) -> float:
         """Server-side render time for a workload, in milliseconds."""
         mobile_equivalent = self.reference.render_time_ms(workload)
-        return mobile_equivalent / self.server.effective_speedup
+        return mobile_equivalent / self._effective_speedup
 
     def encode_time_ms(self, pixels: float) -> float:
         """Hardware video-encode time for ``pixels`` output pixels."""

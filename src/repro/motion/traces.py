@@ -195,16 +195,19 @@ def generate_trace(
         + [head_cfg.rotation_intensity_deg_s] * 3
     )
     max_speed = float(np.linalg.norm(sigma[3:])) * 2.0  # activity normaliser
+    # Hoist the per-frame ``sigma * scale * diffusion`` products: only two
+    # scale values ever occur, and ``sigma * 1.0`` is bitwise ``sigma``.
+    coeff_active = sigma * diffusion
+    coeff_calm = (sigma * head_cfg.calm_scale) * diffusion
 
     for frame in range(n_frames):
         phase_left_s -= dt_s
         if phase_left_s <= 0:
             active = not active
             phase_left_s = float(rng.exponential(head_cfg.mean_phase_s))
-        scale = 1.0 if active else head_cfg.calm_scale
 
         noise = rng.standard_normal(6)
-        velocity = velocity * decay + sigma * scale * diffusion * noise
+        velocity = velocity * decay + (coeff_active if active else coeff_calm) * noise
         pose = pose + velocity * dt_s
 
         fixation_left_s -= dt_s
@@ -220,8 +223,10 @@ def generate_trace(
             # Smooth pursuit drift inside the fixation.
             gaze_x += rng.normal(0, gaze_cfg.pursuit_speed_px_s) * dt_s
             gaze_y += rng.normal(0, gaze_cfg.pursuit_speed_px_s) * dt_s
-        gaze_x = float(np.clip(gaze_x, 0, panel_width_px))
-        gaze_y = float(np.clip(gaze_y, 0, panel_height_px))
+        # Branchy clamps instead of np.clip: identical bits for finite
+        # floats, without the per-frame numpy scalar dispatch cost.
+        gaze_x = 0.0 if gaze_x < 0 else min(float(gaze_x), float(panel_width_px))
+        gaze_y = 0.0 if gaze_y < 0 else min(float(gaze_y), float(panel_height_px))
 
         rotation_speed = float(np.linalg.norm(velocity[3:]))
         activity = min(1.0, rotation_speed / max_speed) if max_speed > 0 else 0.0

@@ -22,16 +22,33 @@ from repro import constants
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "DEFAULT_WARMUP",
     "FrameRecord",
     "SimulationResult",
     "ServerStats",
     "ServerWindow",
     "WindowStats",
     "aggregate_server_stats",
+    "effective_warmup",
     "paper_fps",
+    "records_from_arrays",
     "tail_fps",
     "window_stats",
 ]
+
+#: Default steady-state warm-up prefix excluded from summary metrics.
+DEFAULT_WARMUP = 30
+
+
+def effective_warmup(n_frames: int, warmup_frames: int = DEFAULT_WARMUP) -> int:
+    """Warm-up prefix actually applied to a run of ``n_frames`` frames.
+
+    The single clamping rule shared by the scalar systems, the vectorized
+    kernels and the batch runner: the requested warm-up applies verbatim
+    when it leaves at least one steady-state frame, and collapses to zero
+    otherwise (a run too short to have a steady state keeps all frames).
+    """
+    return warmup_frames if warmup_frames < n_frames else 0
 
 
 def tail_fps(display_times_ms, percentile: float = 99.0) -> float:
@@ -263,6 +280,46 @@ class FrameRecord:
         if self.local_ms <= 0:
             return float("inf") if self.remote_path_ms > 0 else 1.0
         return self.remote_path_ms / self.local_ms
+
+
+#: FrameRecord fields that carry booleans rather than floats.
+_BOOL_FIELDS = frozenset({"dropped", "mispredicted"})
+
+
+def records_from_arrays(index, **columns) -> list[FrameRecord]:
+    """Build :class:`FrameRecord` rows from parallel per-field columns.
+
+    ``index`` and each keyword column are equal-length sequences (lists or
+    numpy arrays); every keyword must name a :class:`FrameRecord` field.
+    Values are coerced to the field's scalar type (``float``, or ``bool``
+    for the drop/misprediction flags), so numpy scalars never leak into
+    the records — vectorized and scalar engines produce identical rows.
+    """
+    n = len(index)
+    names = []
+    data = []
+    for name, column in columns.items():
+        if len(column) != n:
+            raise ConfigurationError(
+                f"column {name!r} has {len(column)} entries, expected {n}"
+            )
+        # Bulk-convert each column once (``tolist`` yields native Python
+        # scalars from numpy arrays) instead of coercing per element.
+        values = column.tolist() if hasattr(column, "tolist") else list(column)
+        if name in _BOOL_FIELDS:
+            values = [bool(v) for v in values]
+        else:
+            values = [float(v) for v in values]
+        names.append(name)
+        data.append(values)
+    indices = index.tolist() if hasattr(index, "tolist") else list(index)
+    if not data:
+        return [FrameRecord(index=int(i)) for i in indices]
+    records = []
+    append = records.append
+    for i, row in zip(indices, zip(*data)):
+        append(FrameRecord(index=int(i), **dict(zip(names, row))))
+    return records
 
 
 def paper_fps(gpu_busy_ms: float, net_busy_ms: float) -> float:

@@ -45,7 +45,7 @@ from repro.network.profile import (
     as_profile,
     shared_conditions,
 )
-from repro.sim.metrics import SimulationResult
+from repro.sim.metrics import DEFAULT_WARMUP, SimulationResult, effective_warmup
 from repro.sim.server import POLICY_NAMES, ShareSchedule
 from repro.sim.systems import PlatformConfig, SYSTEM_NAMES, make_system
 from repro.workloads.apps import VRApp, get_app
@@ -64,31 +64,25 @@ __all__ = [
     "effective_warmup",
     "DEFAULT_FRAMES",
     "DEFAULT_WARMUP",
+    "ENGINE_NAMES",
 ]
 
 #: Default frame count for evaluation runs (matches Fig. 14's 300 frames).
 DEFAULT_FRAMES = 300
 
-#: Default steady-state warm-up prefix excluded from summary metrics.
-DEFAULT_WARMUP = 30
-
 #: Seed stride between co-located clients of one shared scenario.
 CLIENT_SEED_STRIDE = 97
+
+#: Execution engines a spec may select.  ``"vector"`` runs the
+#: array-programmed kernels (:mod:`repro.sim.kernels`); ``"scalar"`` runs
+#: the original per-frame task-graph pipeline as a reference oracle.
+#: Both produce bit-identical results, so the choice never enters the
+#: cache key (see :data:`_EXECUTION_FIELDS`).
+ENGINE_NAMES = ("vector", "scalar")
 
 #: Bump when spec semantics change so stale cache entries never resurface.
 #: (v2: network profiles inside PlatformConfig, package version in the key.)
 _SPEC_SCHEMA_VERSION = 2
-
-
-def effective_warmup(n_frames: int, warmup_frames: int = DEFAULT_WARMUP) -> int:
-    """Largest valid warm-up prefix for a run of ``n_frames``.
-
-    ``RunSpec`` rejects warm-ups that would swallow the whole run; sweeps
-    over small frame counts use this to fall back to "no warm-up", which
-    yields the same metrics (the summary statistics treat a run shorter
-    than its warm-up as entirely steady-state).
-    """
-    return warmup_frames if warmup_frames < n_frames else 0
 
 
 @dataclass(frozen=True)
@@ -128,6 +122,13 @@ class RunSpec:
     is at its start instant.  Allocation schedules are already emitted
     in client-local time by the session planner.  The neutral value 0.0
     hashes exactly as specs did before the field existed.
+
+    ``engine`` selects the execution backend: ``"vector"`` (default) runs
+    the array-programmed frame kernels, ``"scalar"`` the original
+    per-frame task-graph pipeline kept as a reference oracle.  The two
+    are bit-identical, so the field is pure execution detail: it is
+    excluded from the cache key entirely and both engines' results hash
+    to — and satisfy — the same cache entry.
     """
 
     system: str
@@ -143,8 +144,13 @@ class RunSpec:
     server_allocation: tuple[tuple[float, float], ...] | None = None
     downlink_allocation: tuple[tuple[float, float], ...] | None = None
     start_ms: float = 0.0
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {ENGINE_NAMES}"
+            )
         if self.system.lower() not in SYSTEM_NAMES:
             raise ConfigurationError(
                 f"unknown system {self.system!r}; known: {SYSTEM_NAMES}"
@@ -243,12 +249,28 @@ class RunSpec:
 
 
 def run(spec: RunSpec) -> SimulationResult:
-    """Execute one run specification (deterministic in ``spec``)."""
+    """Execute one run specification (deterministic in ``spec``).
+
+    The result is deterministic in the spec's *semantic* fields only:
+    both engines produce bit-identical records, so ``spec.engine`` picks
+    how the run executes, never what it computes.
+    """
     app = get_app(spec.app)
-    system = make_system(
-        spec.system, app, spec.effective_platform(), seed=spec.seed
+    if spec.engine == "scalar":
+        system = make_system(
+            spec.system, app, spec.effective_platform(), seed=spec.seed
+        )
+        return system.run(n_frames=spec.n_frames, warmup_frames=spec.warmup_frames)
+    from repro.sim.kernels import run_vectorized
+
+    return run_vectorized(
+        spec.system,
+        app,
+        spec.effective_platform(),
+        seed=spec.seed,
+        n_frames=spec.n_frames,
+        warmup_frames=spec.warmup_frames,
     )
-    return system.run(n_frames=spec.n_frames, warmup_frames=spec.warmup_frames)
 
 
 # ---------------------------------------------------------------------------
@@ -291,6 +313,7 @@ class Sweep:
     sharing_efficiency: float = 0.9
     profiles: tuple[NetworkProfile | NetworkConditions | str, ...] | None = None
     policies: tuple[str, ...] | None = None
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
         for name in ("systems", "apps", "platforms", "seeds"):
@@ -347,6 +370,7 @@ class Sweep:
             shared_clients=self.shared_clients,
             sharing_efficiency=self.sharing_efficiency,
             policy=policy,
+            engine=self.engine,
         )
 
     def specs(self) -> tuple[RunSpec, ...]:
@@ -388,6 +412,15 @@ _NEUTRAL_FIELDS: dict[str, dict[str, object]] = {
     "NetworkConditions": {"uplink_mbps": None},
 }
 
+#: Fields that describe *how* a run executes, not *what* it computes.
+#: Unlike :data:`_NEUTRAL_FIELDS` these are dropped from the canonical
+#: form unconditionally — an engine override must hash to the same key
+#: as the default, because both engines produce bit-identical results
+#: and must share (and satisfy) the same cache entry.
+_EXECUTION_FIELDS: dict[str, frozenset[str]] = {
+    "RunSpec": frozenset({"engine"}),
+}
+
 
 def _canonical(value: object) -> object:
     """Recursively convert a spec value into a canonical JSON-able form.
@@ -401,7 +434,10 @@ def _canonical(value: object) -> object:
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         out: dict[str, object] = {"__type__": type(value).__name__}
         neutral = _NEUTRAL_FIELDS.get(type(value).__name__, {})
+        execution = _EXECUTION_FIELDS.get(type(value).__name__, frozenset())
         for f in dataclasses.fields(value):
+            if f.name in execution:
+                continue
             item = getattr(value, f.name)
             if f.name in neutral and item == neutral[f.name]:
                 continue
@@ -534,6 +570,11 @@ class BatchEngine:
     cache_dir:
         Optional directory for the on-disk :class:`ResultCache`; None
         keeps memoization in-memory only.
+    engine:
+        Optional execution-engine override (``"vector"`` / ``"scalar"``)
+        applied to every spec this engine executes.  Results stay keyed
+        by the *requested* specs, and cache keys ignore the engine field,
+        so overriding changes how runs execute, never what callers see.
 
     Completed runs are always memoized in-memory for the engine's
     lifetime, so overlapping batches (e.g. Table 4 and Fig. 15 sharing
@@ -542,10 +583,20 @@ class BatchEngine:
     engines and processes.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        engine: str | None = None,
+    ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if engine is not None and engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; known: {ENGINE_NAMES}"
+            )
         self.jobs = jobs
+        self.engine = engine
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.stats = BatchStats()
         self._memo: dict[RunSpec, SimulationResult] = {}
@@ -596,16 +647,27 @@ class BatchEngine:
         cache immediately — an interrupted or partially failed sweep
         keeps every run that finished.  Callers key by spec, so the
         non-deterministic completion order never reaches outputs.
+
+        An engine override rewrites each spec's ``engine`` field just for
+        execution; yielded keys are the requested specs, so callers (and
+        the cache, whose keys ignore the field anyway) are unaffected.
         """
+        if self.engine is None:
+            executed = list(specs)
+        else:
+            executed = [replace(spec, engine=self.engine) for spec in specs]
         if self.jobs > 1 and len(specs) > 1:
             workers = min(self.jobs, len(specs))
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(run, spec): spec for spec in specs}
+                futures = {
+                    pool.submit(run, job): spec
+                    for spec, job in zip(specs, executed)
+                }
                 for future in concurrent.futures.as_completed(futures):
                     yield futures[future], future.result()
         else:
-            for spec in specs:
-                yield spec, run(spec)
+            for spec, job in zip(specs, executed):
+                yield spec, run(job)
 
     def run_sweep(self, sweep: Sweep) -> dict[RunSpec, SimulationResult]:
         """Expand and execute a declarative sweep."""

@@ -60,7 +60,7 @@ from repro.network.channel import NetworkChannel
 from repro.network.conditions import NetworkConditions, WIFI
 from repro.network.profile import NetworkProfile
 from repro.sim import resources as R
-from repro.sim.metrics import FrameRecord, SimulationResult
+from repro.sim.metrics import FrameRecord, SimulationResult, effective_warmup
 from repro.sim.scheduler import Task, TaskGraphScheduler
 from repro.sim.server import ShareSchedule
 from repro.workloads.apps import VRApp
@@ -168,7 +168,7 @@ class VRSystem(ABC):
             system=self.name,
             app=self.app.name,
             records=records,
-            warmup_frames=min(warmup_frames, max(n_frames - 2, 0)),
+            warmup_frames=effective_warmup(n_frames, warmup_frames),
         )
 
     @abstractmethod

@@ -161,6 +161,38 @@ class TestPerfModel:
         assert timing.total_ms >= max(timing.compute_ms, timing.dram_ms)
         assert timing.compute_ms == timing.geometry_ms + timing.fragment_ms
 
+    def test_fast_path_equals_breakdown_exactly(self, perf):
+        # render_time_ms is an inline replica of frame_timing().total_ms;
+        # the two must agree to the last bit, including the degenerate
+        # zero-vertex / fully-cached corners.
+        cases = [
+            RenderWorkload(1e6, 14e6, 300.0, 500.0),
+            RenderWorkload(0.0, 0.0, 100.0, 10.0),
+            RenderWorkload(1e5, 1e6, 100.0, 4000.0),
+            RenderWorkload(1e6, 14e6, 300.0, 500.0, texture_working_set_bytes=0.0),
+            RenderWorkload(
+                1e3, 30e6, 1.0, 1.0,
+                texture_bytes_per_fragment=64.0,
+                texture_working_set_bytes=512e6,
+            ),
+        ]
+        for wl in cases:
+            assert perf.render_time_ms(wl) == perf.frame_timing(wl).total_ms
+
+    @given(
+        st.floats(min_value=0.0, max_value=5e6),
+        st.floats(min_value=0.0, max_value=50e6),
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=5000.0),
+    )
+    @settings(max_examples=50)
+    def test_fast_path_equals_breakdown_property(
+        self, vertices, fragments, cycles, batches
+    ):
+        perf = GPUPerfModel(GPUConfig())
+        wl = RenderWorkload(vertices, fragments, cycles, batches)
+        assert perf.render_time_ms(wl) == perf.frame_timing(wl).total_ms
+
     def test_memory_bound_detection(self, perf):
         streamer = RenderWorkload(
             vertices=1e3, fragments=30e6, fragment_cycles=1.0,
