@@ -15,6 +15,11 @@ committed ``BENCH_batch.json`` baseline:
   ``--max-kernel-regression`` (default 25%).  This is the headline win
   of the array-programmed frame kernels; baselines written before the
   field existed are reported informationally instead of gated;
+* ``speedup_shard_cold`` (serial time over cold *sharded* batched time,
+  the work-stealing executor's headline) is gated exactly like
+  ``speedup_cold`` with ``--max-shard-regression`` (default 25%);
+  baselines written before sharded execution existed are reported
+  informationally instead of gated;
 * ``serial_s`` (the plain one-spec-at-a-time wall time, a proxy for the
   simulator's own speed) must not grow by more than
   ``--max-serial-slowdown`` (default 50%).  This is an absolute time
@@ -28,9 +33,12 @@ committed ``BENCH_batch.json`` baseline:
 
 The before/after comparison is printed as a Markdown table and appended
 to ``$GITHUB_STEP_SUMMARY`` when that file is available, so the verdict
-shows up in the job summary without digging through logs.  Only the
-standard library is required — the gate adds no dependencies to the
-benchmark job.
+shows up in the job summary without digging through logs.  With
+``--leaderboard-json`` / ``--leaderboard-html`` the same comparison is
+also written as machine-readable and browsable leaderboard artifacts;
+``--pack`` folds the trimmed means of canonical run packs (see
+``run_pack.py``) into them.  Only the standard library is required —
+the gate adds no dependencies to the benchmark job.
 
 Usage::
 
@@ -56,6 +64,7 @@ def compare(
     max_speedup_regression: float,
     max_serial_slowdown: float,
     max_kernel_regression: float = 0.25,
+    max_shard_regression: float = 0.25,
 ) -> tuple[list[list[str]], list[str]]:
     """Build the comparison table and the list of violated limits."""
     failures: list[str] = []
@@ -117,6 +126,43 @@ def compare(
             ]
         )
 
+    # The sharded executor's headline shares the same structure again:
+    # serial and sharded-cold are timed in the same fresh run, so the
+    # ratio tracks executor overhead (spill I/O, claim files, stealing)
+    # rather than machine speed.  Baselines committed before sharded
+    # execution existed lack the field and are not gated.
+    if "speedup_shard_cold" in fresh:
+        new_shard = float(fresh["speedup_shard_cold"])
+        if "speedup_shard_cold" in baseline:
+            base_shard = float(baseline["speedup_shard_cold"])
+            shard_floor = base_shard * (1.0 - max_shard_regression)
+            shard_ok = new_shard >= shard_floor
+            rows.append(
+                [
+                    "sharded speedup (serial / cold sharded)",
+                    f"{_fmt(base_shard)}x",
+                    f"{_fmt(new_shard)}x",
+                    f">= {_fmt(shard_floor)}x",
+                    "ok" if shard_ok else "REGRESSED",
+                ]
+            )
+            if not shard_ok:
+                failures.append(
+                    f"sharded speedup regressed more than "
+                    f"{max_shard_regression:.0%}: {_fmt(base_shard)}x -> "
+                    f"{_fmt(new_shard)}x (floor {_fmt(shard_floor)}x)"
+                )
+        else:
+            rows.append(
+                [
+                    "sharded speedup (serial / cold sharded)",
+                    "-",
+                    f"{_fmt(new_shard)}x",
+                    "-",
+                    "info",
+                ]
+            )
+
     base_serial = float(baseline["serial_s"])
     new_serial = float(fresh["serial_s"])
     serial_ceiling = base_serial * (1.0 + max_serial_slowdown)
@@ -165,16 +211,130 @@ def compare(
     # Informational rows (no gate): they explain a moved headline number.
     for key, label, unit in (
         ("parallel_cold_s", "parallel cold", "s"),
+        ("shard_cold_s", "sharded cold", "s"),
         ("parallel_warm_s", "parallel warm (cache)", "s"),
         ("speedup_warm", "warm speedup", "x"),
         ("cpu_count", "cpu count", ""),
+        ("available_cpus", "available cpus", ""),
         ("jobs", "jobs", ""),
+        ("shards", "shards", ""),
     ):
         if key in baseline and key in fresh:
             rows.append(
                 [label, f"{baseline[key]}{unit}", f"{fresh[key]}{unit}", "-", "info"]
             )
     return rows, failures
+
+
+def build_leaderboard(
+    baseline: dict,
+    fresh: dict,
+    rows: list[list[str]],
+    failures: list[str],
+    pack_paths: list[Path],
+) -> dict:
+    """The comparison as a machine-readable leaderboard document.
+
+    One entry per compared metric (baseline, fresh, limit, status) plus
+    the trimmed-mean summaries of any canonical run packs, so dashboards
+    and follow-up tooling read one JSON file instead of re-parsing the
+    Markdown gate output.
+    """
+    packs = []
+    for path in pack_paths:
+        try:
+            pack = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            packs.append({"path": str(path), "error": str(error)})
+            continue
+        packs.append(
+            {
+                "path": str(path),
+                "bench": pack.get("bench"),
+                "runs": pack.get("runs"),
+                "commit": (pack.get("environment") or {}).get("commit"),
+                "trimmed_mean": pack.get("trimmed_mean", {}),
+            }
+        )
+    return {
+        "leaderboard_version": 1,
+        "verdict": "fail" if failures else "pass",
+        "failures": failures,
+        "metrics": [
+            {
+                "metric": metric,
+                "baseline": base,
+                "fresh": new,
+                "limit": limit,
+                "status": status,
+            }
+            for metric, base, new, limit, status in rows
+        ],
+        "sweep": fresh.get("sweep", {}),
+        "baseline_sweep": baseline.get("sweep", {}),
+        "packs": packs,
+    }
+
+
+_HTML_STATUS_COLOURS = {
+    "ok": "#2da44e",
+    "info": "#57606a",
+    "REGRESSED": "#cf222e",
+    "BROKEN": "#cf222e",
+    "DIVERGED": "#cf222e",
+}
+
+
+def render_leaderboard_html(board: dict) -> str:
+    """A dependency-free, single-file HTML view of the leaderboard."""
+    verdict = board["verdict"]
+    colour = "#2da44e" if verdict == "pass" else "#cf222e"
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        "<title>Benchmark leaderboard</title>",
+        "<style>body{font-family:sans-serif;margin:2em}"
+        "table{border-collapse:collapse}"
+        "td,th{border:1px solid #d0d7de;padding:4px 10px;text-align:left}"
+        "th{background:#f6f8fa}</style>",
+        "</head><body>",
+        "<h1>Benchmark leaderboard</h1>",
+        f"<p>Verdict: <strong style='color:{colour}'>{verdict.upper()}</strong></p>",
+        "<table><tr><th>metric</th><th>baseline</th><th>fresh</th>"
+        "<th>limit</th><th>status</th></tr>",
+    ]
+    for entry in board["metrics"]:
+        status = entry["status"]
+        status_colour = _HTML_STATUS_COLOURS.get(status, "#57606a")
+        parts.append(
+            f"<tr><td>{entry['metric']}</td><td>{entry['baseline']}</td>"
+            f"<td>{entry['fresh']}</td><td>{entry['limit']}</td>"
+            f"<td style='color:{status_colour}'>{status}</td></tr>"
+        )
+    parts.append("</table>")
+    if board["failures"]:
+        parts.append("<h2>Failures</h2><ul>")
+        parts += [f"<li>{failure}</li>" for failure in board["failures"]]
+        parts.append("</ul>")
+    for pack in board["packs"]:
+        if "error" in pack:
+            parts.append(
+                f"<p>pack {pack['path']}: unreadable ({pack['error']})</p>"
+            )
+            continue
+        parts.append(
+            f"<h2>Run pack: {pack['bench']} ({pack['runs']} runs)</h2>"
+        )
+        commit = pack.get("commit") or "unknown commit"
+        parts.append(f"<p>{commit}</p>")
+        parts.append(
+            "<table><tr><th>metric</th><th>trimmed mean</th></tr>"
+        )
+        for metric, value in sorted(pack["trimmed_mean"].items()):
+            parts.append(f"<tr><td>{metric}</td><td>{value}</td></tr>")
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
 
 
 def render_markdown(rows: list[list[str]], failures: list[str]) -> str:
@@ -211,6 +371,24 @@ def main(argv: list[str] | None = None) -> int:
         help="tolerated relative vectorized-kernel speedup loss "
         "(default: 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--max-shard-regression", type=float, default=0.25,
+        help="tolerated relative sharded-executor speedup loss "
+        "(default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--leaderboard-json", default=None, metavar="PATH",
+        help="also write the comparison as a leaderboard JSON document",
+    )
+    parser.add_argument(
+        "--leaderboard-html", default=None, metavar="PATH",
+        help="also write the comparison as a browsable HTML leaderboard",
+    )
+    parser.add_argument(
+        "--pack", action="append", default=[], metavar="PACK_JSON",
+        help="canonical run pack (run_pack.py output) to fold into the "
+        "leaderboard; repeatable",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(Path(args.baseline).read_text())
@@ -221,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         args.max_speedup_regression,
         args.max_serial_slowdown,
         args.max_kernel_regression,
+        args.max_shard_regression,
     )
     report = render_markdown(rows, failures)
     print(report)
@@ -228,6 +407,16 @@ def main(argv: list[str] | None = None) -> int:
     if summary_path:
         with open(summary_path, "a") as handle:
             handle.write(report)
+    if args.leaderboard_json or args.leaderboard_html:
+        board = build_leaderboard(
+            baseline, fresh, rows, failures, [Path(p) for p in args.pack]
+        )
+        if args.leaderboard_json:
+            Path(args.leaderboard_json).write_text(
+                json.dumps(board, indent=2) + "\n"
+            )
+        if args.leaderboard_html:
+            Path(args.leaderboard_html).write_text(render_leaderboard_html(board))
     return 1 if failures else 0
 
 

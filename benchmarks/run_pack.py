@@ -1,0 +1,198 @@
+"""Canonical run packs: repeat a headline bench, keep every raw number.
+
+A single benchmark run is a point sample of a noisy process; a *run
+pack* is the committable unit of evidence this repo standardises on
+instead.  One pack holds ``--runs`` complete repetitions of a headline
+bench (batch, kernel, or session), the full per-run reports, the raw
+timing vector of every numeric metric, and a trimmed mean per metric
+(drop the single best and worst run, average the rest) — the summary
+statistic the leaderboard and regression gates read.  Environment
+provenance (commit, python, CPU budget, seed, config) rides along so a
+number can always be traced back to how it was produced.
+
+Every repetition runs in a **fresh subprocess**: the simulator keeps
+process-wide kernel caches, so repeating a bench in one process would
+time cache hits from the second run on and average two different
+regimes into one number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_pack.py --bench batch --runs 5
+    PYTHONPATH=src python benchmarks/run_pack.py --bench kernel --frames 60 \
+        --out benchmarks/packs/PACK_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCHES = ("batch", "kernel", "session")
+
+_BENCH_DIR = Path(__file__).resolve().parent
+_SRC_DIR = _BENCH_DIR.parent / "src"
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_BENCH_DIR,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def _bench_command(bench: str, args: argparse.Namespace, out: Path) -> list[str]:
+    if bench == "batch":
+        cmd = [
+            sys.executable,
+            str(_BENCH_DIR / "bench_batch.py"),
+            "--frames", str(args.frames),
+            "--seed", str(args.seed),
+            "--out", str(out),
+        ]
+        if args.jobs is not None:
+            cmd += ["--jobs", str(args.jobs)]
+        if args.shards is not None:
+            cmd += ["--shards", str(args.shards)]
+        return cmd
+    if bench == "kernel":
+        return [
+            sys.executable,
+            str(_BENCH_DIR / "bench_kernel.py"),
+            "--frames", str(args.frames),
+            "--seed", str(args.seed),
+            "--out", str(out),
+        ]
+    return [
+        sys.executable,
+        str(_BENCH_DIR / "bench_session.py"),
+        "--events", str(args.events),
+        "--frames", str(args.session_frames),
+        "--seed", str(args.seed),
+        "--tolerance", str(args.tolerance),
+        "--out", str(out),
+    ]
+
+
+def _run_once(bench: str, args: argparse.Namespace) -> dict:
+    """One complete repetition of the selected bench, in a fresh process."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(_SRC_DIR) if not existing else str(_SRC_DIR) + os.pathsep + existing
+    )
+    with tempfile.TemporaryDirectory(prefix="qvr-pack-") as tmp:
+        out = Path(tmp) / "report.json"
+        subprocess.run(
+            _bench_command(bench, args, out),
+            env=env,
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        return json.loads(out.read_text())
+
+
+def _numeric_items(report: dict, prefix: str = "") -> list[tuple[str, float]]:
+    """Flatten the numeric scalars of one report into dotted-key pairs."""
+    items: list[tuple[str, float]] = []
+    for key, value in report.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            items.append((name, float(value)))
+        elif isinstance(value, dict):
+            items.extend(_numeric_items(value, prefix=f"{name}."))
+    return items
+
+
+def trimmed_mean(values: list[float]) -> float:
+    """Mean after dropping the single min and max (needs >= 3 samples)."""
+    if len(values) >= 3:
+        values = sorted(values)[1:-1]
+    return sum(values) / len(values)
+
+
+def build_pack(bench: str, runs: int, args: argparse.Namespace) -> dict:
+    reports = []
+    for index in range(runs):
+        started = time.perf_counter()
+        report = _run_once(bench, args)
+        elapsed = time.perf_counter() - started
+        print(
+            f"[{bench} run {index + 1}/{runs}] completed in {elapsed:.1f}s",
+            file=sys.stderr,
+        )
+        reports.append(report)
+
+    raw: dict[str, list[float]] = {}
+    for report in reports:
+        for key, value in _numeric_items(report):
+            raw.setdefault(key, []).append(value)
+    # Only metrics present in every run are summarised — a key that
+    # appears in some runs only would get a silently biased mean.
+    raw = {key: values for key, values in raw.items() if len(values) == runs}
+    summary = {key: round(trimmed_mean(values), 4) for key, values in raw.items()}
+
+    return {
+        "pack_version": 1,
+        "bench": bench,
+        "runs": runs,
+        "trimmed_mean": summary,
+        "raw": raw,
+        "environment": {
+            "commit": _git_commit(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "seed": args.seed,
+        },
+        "reports": reports,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", choices=BENCHES, default="batch")
+    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="output path (default: benchmarks/packs/PACK_<bench>.json)")
+    # batch/kernel knobs
+    parser.add_argument("--frames", type=int, default=120)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=None)
+    # session knobs
+    parser.add_argument("--events", type=int, default=150)
+    parser.add_argument("--session-frames", type=int, default=600)
+    parser.add_argument("--tolerance", type=float, default=1.5)
+    args = parser.parse_args(argv)
+
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    pack = build_pack(args.bench, args.runs, args)
+    out = (
+        Path(args.out)
+        if args.out is not None
+        else Path(__file__).resolve().parent / "packs" / f"PACK_{args.bench}.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(pack, indent=2) + "\n")
+    print(f"wrote {out} ({args.runs} runs, {len(pack['raw'])} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

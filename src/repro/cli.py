@@ -78,6 +78,7 @@ from repro.sim.runner import (
     speedup_over,
 )
 from repro.sim.server import OVERFLOW_MODES, POLICY_NAMES, RenderServer
+from repro.sim.shard import SHARD_MODES
 from repro.sim.session import (
     Join,
     Leave,
@@ -107,6 +108,24 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="execution engine: the array-programmed frame kernels "
         "(vector, default) or the per-frame task-graph reference oracle "
         "(scalar); both produce bit-identical results",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="route uncached runs through the sharded work-stealing "
+        "executor with this many spec shards (results are bit-identical "
+        "to the flat pool at any shard/worker count)",
+    )
+    parser.add_argument(
+        "--shard-mode", default="process", choices=list(SHARD_MODES),
+        help="sharded execution mode: process pool with parent-scheduled "
+        "stealing (default), subprocess workers simulating a multi-machine "
+        "fleet (claim files, heartbeats, requeue), or inline",
+    )
+    parser.add_argument(
+        "--stream", default=None, metavar="DIR", dest="stream_dir",
+        help="spill-to-disk result stream directory for sharded runs; "
+        "reusing it resumes an interrupted sweep (completed shards are "
+        "skipped, partial shard files resume after their valid prefix)",
     )
 
 
@@ -222,6 +241,9 @@ def _engine_from(args: argparse.Namespace) -> BatchEngine:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         engine=getattr(args, "engine", None),
+        shards=getattr(args, "shards", None),
+        shard_mode=getattr(args, "shard_mode", "process"),
+        stream_dir=getattr(args, "stream_dir", None),
     )
 
 
@@ -345,6 +367,15 @@ def _cmd_batch(args: argparse.Namespace) -> None:
         f"{stats.executed} executed, {stats.cache_hits} cache hits, "
         f"{stats.deduplicated} deduplicated in-batch; total {total_s:.2f}s"
     )
+    shard_stats = engine.last_shard_stats
+    if shard_stats is not None:
+        print(
+            f"shards: {shard_stats.shards} planned ({shard_stats.specs} specs), "
+            f"{shard_stats.skipped_shards} resumed complete, "
+            f"{shard_stats.salvaged} frames salvaged, "
+            f"{shard_stats.steals} steals, {shard_stats.requeues} requeues, "
+            f"{shard_stats.workers} workers ({args.shard_mode})"
+        )
 
 
 def _parse_client(token: str) -> ClientSpec:

@@ -231,8 +231,15 @@ class _FoveationKernel:
         self._ws_ys = np.empty((m, _SAMPLES_2D))
         self._ws_a = np.empty((m, _SAMPLES_2D))
         self._ws_b = np.empty((m, _SAMPLES_2D))
-        self._ws_e = np.empty((m, _SAMPLES_2D - 1))
-        self._ws_d = np.empty((m, _SAMPLES_2D - 1))
+        self._ws_r2 = np.empty((m, 1))
+        self._ws_dflat = np.empty(m * _SAMPLES_2D)
+        self._ws_eflat = np.empty(m * _SAMPLES_2D)
+        self._master_radii = master * self.ppd
+        # Direct-search workspaces (see :meth:`_optimize_direct`).
+        self._ws_radii = np.empty(m)
+        self._ws_sout = np.empty(m)
+        self._ws_mid = np.empty(m)
+        self._ws_cost = np.empty(m)
         self._idx1d = np.arange(_SAMPLES_1D, dtype=float)
         self._ys1d = np.empty(_SAMPLES_1D)
         self._a1d = np.empty(_SAMPLES_1D)
@@ -276,18 +283,30 @@ class _FoveationKernel:
         return float(np.add.reduce(e))
 
     def _disc_areas(self, cx: float, cy: float, radii: np.ndarray) -> np.ndarray:
-        """Bit-identical replica of ``_disc_rect_areas`` (samples=129)."""
+        """Bit-identical replica of ``_disc_rect_areas`` (samples=129).
+
+        The trapezoid stage runs over the *flattened* row-contiguous
+        buffers: one collapsed first-difference / pairwise-sum pass over
+        ``m * 129`` elements instead of a strided per-row pass.  The
+        ``m - 1`` row-boundary positions hold cross-row junk that the
+        final strided row view skips, and every used element sees the
+        exact scalar op chain, so the per-row sums are unchanged bitwise
+        (the pairwise ``add.reduce`` tree depends only on the 128-element
+        row length, not the memory layout).
+        """
         m = len(radii)
         y_lo = np.maximum(0.0, cy - radii)
         y_hi = np.minimum(self.height, cy + radii)
         span = np.maximum(y_hi - y_lo, 0.0)
         ys = self._ws_ys[:m]
-        np.multiply(span[:, None], self._t2d, out=ys)  # == np.outer(span, t)
+        np.einsum("i,j->ij", span, self._t2d, out=ys)  # == np.outer(span, t)
         ys += y_lo[:, None]
         a = self._ws_a[:m]
         np.subtract(ys, cy, out=a)
         a *= a
-        np.subtract((radii * radii)[:, None], a, out=a)
+        r2 = self._ws_r2[:m]
+        np.multiply(radii, radii, out=r2[:, 0])
+        np.subtract(r2, a, out=a)
         np.maximum(a, 0.0, out=a)
         np.sqrt(a, out=a)  # half chord
         b = self._ws_b[:m]
@@ -297,13 +316,20 @@ class _FoveationKernel:
         np.minimum(self.width, a, out=a)  # x_hi
         np.subtract(a, b, out=a)
         np.maximum(a, 0.0, out=a)  # widths
-        e = self._ws_e[:m]
-        d = self._ws_d[:m]
-        np.subtract(ys[:, 1:], ys[:, :-1], out=d)
-        np.add(a[:, 1:], a[:, :-1], out=e)
+        n = m * _SAMPLES_2D
+        ys_flat = ys.reshape(n)
+        a_flat = a.reshape(n)
+        d = self._ws_dflat[: n - 1]
+        e = self._ws_eflat[: n - 1]
+        np.subtract(ys_flat[1:], ys_flat[:-1], out=d)
+        np.add(a_flat[1:], a_flat[:-1], out=e)
         e *= d
         e *= 0.5  # bitwise ``/ 2.0`` (exact power-of-two scaling)
-        return np.add.reduce(e, axis=1)
+        stride = e.itemsize
+        rows = np.lib.stride_tricks.as_strided(
+            e, shape=(m, _SAMPLES_2D - 1), strides=(_SAMPLES_2D * stride, stride)
+        )
+        return np.add.reduce(rows, axis=1)
 
     def _area256_all_frames(self, e_deg: float) -> None:
         """Fill the ``_areas`` cache with frame ``0..n-1`` at one radius.
@@ -378,7 +404,7 @@ class _FoveationKernel:
         """Master-lattice areas and outer-layer cost for frame ``f``."""
         cached = self._sweeps.get(f)
         if cached is None:
-            areas = self._disc_areas(self.gx[f], self.gy[f], self.master * self.ppd)
+            areas = self._disc_areas(self.gx[f], self.gy[f], self._master_radii)
             outer = np.maximum(self.total - areas, 0.0) / self._s_out_sq
             cached = (areas, outer)
             self._sweeps[f] = cached
@@ -422,18 +448,44 @@ class _FoveationKernel:
         return float(self.master[k + int(np.argmin(cost))])
 
     def _optimize_direct(self, f: int, e1: float) -> float:
-        """Off-lattice fallback: the full grid search from ``e1``."""
-        cand = np.arange(e1, self.corner + _STEP_DEG, _STEP_DEG)
-        cand = np.minimum(cand, self.corner)
-        areas = self._disc_areas(self.gx[f], self.gy[f], cand * self.ppd)
+        """Off-lattice fallback: the full grid search from ``e1``.
+
+        SW-QVR's controller emits a fresh float ``e1`` every frame (each a
+        strict function of the previous frame's measured imbalance), so
+        this path cannot amortise across calls; instead every step runs
+        in preallocated workspaces with no temporaries.  The candidate
+        lattice itself must come from ``np.arange`` — arange accumulates
+        ``+= step`` incrementally, so its bits drift from
+        ``e1 + k * step`` for some ``e1`` and the oracle's argmin can tie
+        against that drift.  The reassociations below
+        (``slope * cand + omega_0``, ``outer + middle``) only commute
+        IEEE adds, which is bitwise neutral.
+        """
+        e_max = self.corner
+        cand = np.arange(e1, e_max + _STEP_DEG, _STEP_DEG)
+        np.minimum(cand, e_max, out=cand)
+        n = len(cand)
+        radii = self._ws_radii[:n]
+        np.multiply(cand, self.ppd, out=radii)
+        areas = self._disc_areas(self.gx[f], self.gy[f], radii)
         s_mid = min(self.mar.sampling_factor(e1, self.omega_star), self.cap)
-        s_out = np.minimum(
-            (self.mar.omega_0 + self.mar.slope * cand) / self.omega_star, self.cap
-        )
-        s_out = np.maximum(s_out, 1.0)
-        middle = np.maximum(areas - areas[0], 0.0) / (s_mid * s_mid)
-        outer = np.maximum(self.total - areas, 0.0) / (s_out * s_out)
-        cost = middle + outer
+        s_out = self._ws_sout[:n]
+        np.multiply(self.mar.slope, cand, out=s_out)
+        s_out += self.mar.omega_0
+        s_out /= self.omega_star
+        np.minimum(s_out, self.cap, out=s_out)
+        np.maximum(s_out, 1.0, out=s_out)
+        middle = self._ws_mid[:n]
+        first = areas[0]
+        np.subtract(areas, first, out=middle)
+        np.maximum(middle, 0.0, out=middle)
+        middle /= s_mid * s_mid
+        cost = self._ws_cost[:n]
+        np.subtract(self.total, areas, out=cost)
+        np.maximum(cost, 0.0, out=cost)
+        s_out *= s_out
+        cost /= s_out
+        cost += middle
         return float(cand[int(np.argmin(cost))])
 
     def plan(self, f: int, e1_deg: float) -> PartitionPlan:

@@ -13,8 +13,10 @@ Conventions:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from statistics import mean
+from typing import Iterable
 
 import numpy as np
 
@@ -24,9 +26,12 @@ from repro.errors import ConfigurationError
 __all__ = [
     "DEFAULT_WARMUP",
     "FrameRecord",
+    "QuantileSketch",
+    "RunningMoments",
     "SimulationResult",
     "ServerStats",
     "ServerWindow",
+    "StreamSummary",
     "WindowStats",
     "aggregate_server_stats",
     "effective_warmup",
@@ -66,6 +71,274 @@ def tail_fps(display_times_ms, percentile: float = 99.0) -> float:
     if worst <= 0:
         return float("inf")
     return 1000.0 / worst
+
+
+# ---------------------------------------------------------------------------
+# Streaming (mergeable) aggregation
+# ---------------------------------------------------------------------------
+
+
+class RunningMoments:
+    """Mergeable running count / mean / variance / extremes (Welford-Chan).
+
+    The constant-memory replacement for collect-then-``np.mean`` when a
+    sweep is too large to hold: feed values one at a time with
+    :meth:`add`, or fold two partial aggregates with :meth:`merge` (the
+    parallel Chan update), and read the summary statistics at any point.
+    NaN values are skipped (they carry no information about the stream);
+    an empty aggregate reports NaN statistics, matching the steady-state
+    metrics' convention.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the aggregate."""
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold an iterable of observations (consumed lazily)."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningMoments") -> None:
+        """Fold another partial aggregate into this one (in place)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            return float("nan")
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else float("nan")
+
+
+#: Default sub-buckets per decade of the log-binned quantile sketch —
+#: worst-case relative quantile error is ``10**(1/(2*64)) - 1`` (~1.8%).
+_SKETCH_BINS_PER_DECADE = 64
+
+
+class QuantileSketch:
+    """Mergeable fixed-resolution percentile sketch for positive magnitudes.
+
+    A log-binned (HDR-histogram-style) sketch: the positive axis between
+    ``min_value`` and ``max_value`` is divided into ``bins_per_decade``
+    geometrically spaced buckets per power of ten, and each observation
+    increments one bucket counter.  Memory is bounded by the (sparse)
+    bucket map regardless of stream length, two sketches with the same
+    geometry merge by adding counters, and every operation is
+    deterministic — the properties the sharded batch executor needs to
+    aggregate a 10k-spec sweep without materializing it.
+
+    Quantiles are answered to within one bucket: the worst-case relative
+    error is ``10**(1/(2*bins_per_decade)) - 1`` (< 2% at the default
+    resolution).  Values below ``min_value`` (including zeros and
+    negatives) clamp into the lowest bucket and values at or above
+    ``max_value`` into the highest; NaNs are skipped.  The defaults span
+    1 µs to 10⁷ ms, generous for every millisecond- or FPS-scale series
+    the simulator produces.
+    """
+
+    __slots__ = ("lo", "hi", "bins_per_decade", "_counts", "count")
+
+    def __init__(
+        self,
+        min_value: float = 1e-3,
+        max_value: float = 1e7,
+        bins_per_decade: int = _SKETCH_BINS_PER_DECADE,
+    ) -> None:
+        if not 0 < min_value < max_value:
+            raise ConfigurationError(
+                f"need 0 < min_value < max_value, got [{min_value}, {max_value})"
+            )
+        if bins_per_decade < 1:
+            raise ConfigurationError("bins_per_decade must be >= 1")
+        self.lo = float(min_value)
+        self.hi = float(max_value)
+        self.bins_per_decade = int(bins_per_decade)
+        self._counts: dict[int, int] = {}
+        self.count = 0
+
+    @property
+    def _max_bin(self) -> int:
+        return int(
+            math.ceil(math.log10(self.hi / self.lo) * self.bins_per_decade)
+        )
+
+    def _bin(self, value: float) -> int:
+        if value < self.lo:
+            return 0
+        if value >= self.hi:
+            return self._max_bin
+        index = int(math.floor(math.log10(value / self.lo) * self.bins_per_decade))
+        return min(max(index, 0), self._max_bin)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        value = float(value)
+        if math.isnan(value):
+            return
+        index = self._bin(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.count += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold an iterable of observations (consumed lazily)."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch into this one (same geometry required)."""
+        if (
+            other.lo != self.lo
+            or other.hi != self.hi
+            or other.bins_per_decade != self.bins_per_decade
+        ):
+            raise ConfigurationError(
+                "cannot merge quantile sketches with different geometries"
+            )
+        for index, n in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + n
+        self.count += other.count
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1], to one-bucket resolution.
+
+        Returns the geometric midpoint of the bucket containing the
+        ``ceil(q * count)``-th smallest observation; NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= rank:
+                centre = (index + 0.5) / self.bins_per_decade
+                return min(self.lo * 10.0**centre, self.hi)
+        return self.hi  # pragma: no cover — unreachable (counts sum to count)
+
+
+class StreamSummary:
+    """Running moments plus a percentile sketch over one value stream.
+
+    The unit of streaming sweep aggregation: exact count / mean / std /
+    min / max via :class:`RunningMoments` and approximate percentiles via
+    :class:`QuantileSketch`, mergeable across shards.  This is what the
+    population-scale paths fold per-spec metrics into instead of holding
+    a full-sweep result list.
+    """
+
+    __slots__ = ("moments", "sketch")
+
+    def __init__(self, sketch: QuantileSketch | None = None) -> None:
+        self.moments = RunningMoments()
+        self.sketch = sketch if sketch is not None else QuantileSketch()
+
+    def add(self, value: float) -> None:
+        """Fold one observation into both aggregates."""
+        self.moments.add(value)
+        self.sketch.add(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold an iterable of observations (consumed lazily)."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "StreamSummary") -> None:
+        """Fold another summary into this one (in place)."""
+        self.moments.merge(other.moments)
+        self.sketch.merge(other.sketch)
+
+    @property
+    def count(self) -> int:
+        return self.moments.count
+
+    @property
+    def mean(self) -> float:
+        return self.moments.mean if self.moments.count else float("nan")
+
+    @property
+    def std(self) -> float:
+        return self.moments.std
+
+    @property
+    def min(self) -> float:
+        return self.moments.min if self.moments.count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self.moments.max if self.moments.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        return self.sketch.quantile(q)
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def row(self) -> dict[str, float]:
+        """The summary as a flat dict (for tables and JSON artifacts)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.max,
+        }
 
 
 @dataclass(frozen=True)
@@ -163,6 +436,30 @@ class ServerStats:
     migrations_in: int
 
 
+class _ServerFold:
+    """Streaming accumulator of one server's :class:`ServerWindow` rows."""
+
+    __slots__ = ("up_ms", "weighted", "peak_load", "clients", "migrations_in")
+
+    def __init__(self) -> None:
+        self.up_ms = 0.0
+        self.weighted = 0.0
+        self.peak_load = float("-inf")
+        self.clients: set[int] = set()
+        self.migrations_in = 0
+
+    def add(self, window: ServerWindow) -> None:
+        length = window.end_ms - window.start_ms
+        self.up_ms += length
+        utilisation = window.utilisation
+        if not np.isnan(utilisation):
+            self.weighted += utilisation * length
+        if window.load > self.peak_load:
+            self.peak_load = window.load
+        self.clients.update(window.clients)
+        self.migrations_in += len(window.migrated_in)
+
+
 def aggregate_server_stats(windows) -> tuple[ServerStats, ...]:
     """Fold per-epoch :class:`ServerWindow` rows into per-server stats.
 
@@ -170,34 +467,31 @@ def aggregate_server_stats(windows) -> tuple[ServerStats, ...]:
     time-weighted over the windows the server was up (epochs where it was
     down contribute neither time nor load).  Zero-length windows (two
     events at one instant) carry no weight.
+
+    The fold is a single streaming pass — ``windows`` may be any
+    iterable (including a lazily generated one) and is never
+    materialized, so fleet timelines with millions of epoch rows
+    aggregate in bounded memory.
     """
-    order: list[str] = []
-    grouped: dict[str, list[ServerWindow]] = {}
+    folds: dict[str, _ServerFold] = {}
     for window in windows:
-        if window.server not in grouped:
-            order.append(window.server)
-            grouped[window.server] = []
-        grouped[window.server].append(window)
-    stats = []
-    for name in order:
-        rows = grouped[name]
-        up_ms = sum(r.end_ms - r.start_ms for r in rows)
-        weighted = sum(
-            r.utilisation * (r.end_ms - r.start_ms)
-            for r in rows
-            if not np.isnan(r.utilisation)
+        fold = folds.get(window.server)
+        if fold is None:
+            fold = folds[window.server] = _ServerFold()
+        fold.add(window)
+    return tuple(
+        ServerStats(
+            server=name,
+            up_ms=fold.up_ms,
+            mean_utilisation=(
+                fold.weighted / fold.up_ms if fold.up_ms > 0 else float("nan")
+            ),
+            peak_load=fold.peak_load,
+            distinct_clients=len(fold.clients),
+            migrations_in=fold.migrations_in,
         )
-        stats.append(
-            ServerStats(
-                server=name,
-                up_ms=up_ms,
-                mean_utilisation=weighted / up_ms if up_ms > 0 else float("nan"),
-                peak_load=max(r.load for r in rows),
-                distinct_clients=len({c for r in rows for c in r.clients}),
-                migrations_in=sum(len(r.migrated_in) for r in rows),
-            )
-        )
-    return tuple(stats)
+        for name, fold in folds.items()
+    )
 
 
 @dataclass(frozen=True)
@@ -454,6 +748,31 @@ class SimulationResult:
         if not steady:
             return float("nan")
         return mean(1.0 if r.dropped else 0.0 for r in steady)
+
+    # -- streaming ---------------------------------------------------------------------------
+
+    def fold_into(
+        self,
+        latency: "StreamSummary | None" = None,
+        fps: "StreamSummary | None" = None,
+    ) -> None:
+        """Fold this run's steady-state series into streaming summaries.
+
+        Per-frame end-to-end latencies land in ``latency`` and the
+        instantaneous frame rates (1000 / display interval) in ``fps``.
+        This is the bounded-memory consumption path for population-scale
+        sweeps: each result is folded as it streams off the executor and
+        can then be dropped, instead of accumulating a full-sweep list.
+        """
+        steady = self._steady()
+        if latency is not None:
+            latency.extend(r.e2e_latency_ms for r in steady)
+        if fps is not None and len(steady) >= 2:
+            fps.extend(
+                1000.0 / (b.display_ms - a.display_ms)
+                for a, b in zip(steady, steady[1:])
+                if b.display_ms > a.display_ms
+            )
 
     # -- balance -----------------------------------------------------------------------------
 

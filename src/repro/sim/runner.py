@@ -16,9 +16,16 @@ through one engine:
   ``concurrent.futures`` process pool and memoizes results in an on-disk
   cache keyed by a stable content hash of the spec (:func:`spec_key`).
 
+Population-scale sweeps route through the sharded, work-stealing
+executor (:mod:`repro.sim.shard`): ``BatchEngine(shards=...)`` partitions
+the miss list into spec shards, streams every completed run to an
+append-only spill file, and — via :meth:`BatchEngine.stream_specs` —
+yields ``(spec, result)`` pairs in bounded memory instead of
+materializing the whole sweep's output.
+
 Execution is deterministic per spec: every run derives all randomness
 from ``spec.seed``, so the same spec produces bit-identical results at
-any job count and across cache round-trips.
+any job count, any shard/worker count, and across cache round-trips.
 """
 
 from __future__ import annotations
@@ -575,12 +582,33 @@ class BatchEngine:
         applied to every spec this engine executes.  Results stay keyed
         by the *requested* specs, and cache keys ignore the engine field,
         so overriding changes how runs execute, never what callers see.
+    shards:
+        Route uncached specs through the sharded work-stealing executor
+        (:mod:`repro.sim.shard`) with this target shard count instead of
+        the flat per-spec pool.  ``jobs`` becomes the worker count.
+        Results are bit-identical to the flat path — sharding only
+        changes scheduling and spill behaviour, never computation — and
+        :class:`ResultCache` keys are unchanged.
+    shard_mode:
+        Sharded-execution mode (see :data:`repro.sim.shard.SHARD_MODES`):
+        ``"process"`` (default) runs shards on a process pool with
+        parent-scheduled stealing; ``"subprocess"`` simulates a
+        multi-machine fleet of claim-based workers with heartbeat and
+        requeue; ``"inline"`` executes shards sequentially in-process.
+    stream_dir:
+        Directory for the sharded executor's spill-to-disk result
+        stream.  Reusing the directory resumes an interrupted sweep:
+        completed shards are skipped and partial shard files resume
+        after their salvaged prefix.  None spills to a temporary
+        directory that is removed when execution finishes.
 
     Completed runs are always memoized in-memory for the engine's
     lifetime, so overlapping batches (e.g. Table 4 and Fig. 15 sharing
     their Q-VR grid) execute each spec once even without a cache
     directory; ``cache_dir`` additionally persists results across
-    engines and processes.
+    engines and processes.  The bounded-memory entry points
+    (:meth:`stream_specs` / :meth:`stream_sweep`) skip that memo —
+    results flow straight from the spill files to the caller.
     """
 
     def __init__(
@@ -588,17 +616,32 @@ class BatchEngine:
         jobs: int = 1,
         cache_dir: str | os.PathLike | None = None,
         engine: str | None = None,
+        shards: int | None = None,
+        shard_mode: str = "process",
+        stream_dir: str | os.PathLike | None = None,
     ) -> None:
+        from repro.sim.shard import SHARD_MODES
+
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         if engine is not None and engine not in ENGINE_NAMES:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; known: {ENGINE_NAMES}"
             )
+        if shards is not None and shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if shard_mode not in SHARD_MODES:
+            raise ConfigurationError(
+                f"unknown shard mode {shard_mode!r}; known: {SHARD_MODES}"
+            )
         self.jobs = jobs
         self.engine = engine
+        self.shards = shards
+        self.shard_mode = shard_mode
+        self.stream_dir = stream_dir
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.stats = BatchStats()
+        self.last_shard_stats = None
         self._memo: dict[RunSpec, SimulationResult] = {}
 
     # -- execution -------------------------------------------------------------
@@ -651,7 +694,14 @@ class BatchEngine:
         An engine override rewrites each spec's ``engine`` field just for
         execution; yielded keys are the requested specs, so callers (and
         the cache, whose keys ignore the field anyway) are unaffected.
+
+        With ``shards`` configured the batch instead flows through the
+        sharded work-stealing executor, which spills every completed run
+        to disk and already handles the engine override itself.
         """
+        if self.shards is not None:
+            yield from self._execute_sharded(specs)
+            return
         if self.engine is None:
             executed = list(specs)
         else:
@@ -669,9 +719,83 @@ class BatchEngine:
             for spec, job in zip(specs, executed):
                 yield spec, run(job)
 
+    def _execute_sharded(
+        self, specs: list[RunSpec]
+    ) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Run the miss list through the sharded work-stealing executor.
+
+        Frames are yielded lazily from the executor's spill files; a
+        temporary stream directory (when none was configured) is removed
+        once the batch finishes, while a configured ``stream_dir`` keeps
+        its spill files for resumption and post-hoc reads.
+        """
+        from repro.sim.shard import ShardedExecutor
+
+        if not specs:
+            return
+        executor = ShardedExecutor(
+            shards=self.shards,
+            workers=self.jobs,
+            mode=self.shard_mode,
+            stream_dir=self.stream_dir,
+            engine=self.engine,
+        )
+        self.last_shard_stats = executor.stats
+        try:
+            yield from executor.execute(specs)
+        finally:
+            executor.cleanup()
+
     def run_sweep(self, sweep: Sweep) -> dict[RunSpec, SimulationResult]:
         """Expand and execute a declarative sweep."""
         return self.run_specs(sweep.specs())
+
+    # -- bounded-memory streaming ----------------------------------------------
+
+    def stream_specs(
+        self, specs: Iterable[RunSpec]
+    ) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Execute a batch lazily, yielding ``(spec, result)`` pairs.
+
+        The bounded-memory counterpart of :meth:`run_specs`: results are
+        never accumulated into a dict or the in-memory memo, so a
+        10k-spec sweep peaks at one result plus whatever the consumer
+        retains (feed the pairs to a
+        :class:`~repro.sim.metrics.StreamSummary` for O(1) statistics).
+        Duplicate specs are still yielded once, disk-cache hits are
+        served without execution, and executed results land in the disk
+        cache — only the engine-lifetime memo is skipped.
+
+        Pairs are yielded as execution completes, so the order mixes
+        cache hits (input order, first) with executed shards (completion
+        order); consumers key by spec.
+        """
+        requested = list(specs)
+        unique = list(dict.fromkeys(requested))
+        self.stats.requested += len(requested)
+        self.stats.unique += len(unique)
+
+        misses: list[RunSpec] = []
+        for spec in unique:
+            cached = self._memo.get(spec)
+            if cached is None and self.cache is not None:
+                cached = self.cache.get(spec)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                yield spec, cached
+            else:
+                misses.append(spec)
+        for spec, result in self._execute(misses):
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            self.stats.executed += 1
+            yield spec, result
+
+    def stream_sweep(
+        self, sweep: Sweep
+    ) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Expand and execute a sweep lazily (see :meth:`stream_specs`)."""
+        return self.stream_specs(sweep.specs())
 
     # -- conveniences ----------------------------------------------------------
 

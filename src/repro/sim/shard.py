@@ -1,0 +1,841 @@
+"""Sharded, work-stealing batch execution with spill-to-disk result streams.
+
+This is the execution substrate underneath :class:`~repro.sim.runner.
+BatchEngine` for population-scale sweeps: the spec list is partitioned
+into contiguous **shards**, shards are served from per-worker queues
+with idle workers **stealing** from the tail of the busiest queue, and
+every completed run is **streamed to disk** as an append-only pickle
+frame in a per-shard result file — so a 10k-spec sweep executes in
+memory bounded by one shard, an interrupted sweep resumes from the spill
+files, and a killed worker's shard is requeued and re-executed without
+losing the frames it already wrote.
+
+Three execution modes share one on-disk protocol (:class:`ResultStream`):
+
+* ``inline`` — shards run one after another in this process (the
+  reference order; also the fallback when every worker has died);
+* ``process`` — shards run on a ``concurrent.futures`` process pool,
+  scheduled by the parent from per-worker queues with steal-from-tail
+  (the pool executes wherever a process is free, so the queues model
+  *scheduling order*, not CPU pinning);
+* ``subprocess`` — the simulated multi-machine mode: independent
+  ``python -m repro.sim.shard`` worker processes claim shards from the
+  spool directory via atomic claim files, heartbeat while executing,
+  and steal unclaimed shards from the tail once their own partition is
+  drained.  The parent requeues any shard whose claimant died or whose
+  heartbeat went stale, so a ``SIGKILL``-ed worker's shard is stolen
+  and re-executed — deterministically, because every run derives all
+  randomness from its spec.
+
+Determinism contract: shard planning is a pure function of the spec
+list, frames within a shard are written in spec order, and each run is
+bit-reproducible from its spec — so the stream's contents are identical
+at any shard count, worker count, mode, and across crash/requeue or
+interrupt/resume cycles.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import pickle
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import RunSpec, run, spec_key
+
+__all__ = [
+    "Shard",
+    "ShardStats",
+    "ShardedExecutor",
+    "ResultStream",
+    "SHARD_MODES",
+    "plan_shards",
+]
+
+#: Execution modes of the sharded executor (see the module docstring).
+SHARD_MODES = ("inline", "process", "subprocess")
+
+#: Heartbeat period (seconds) subprocess workers refresh their claim at.
+DEFAULT_HEARTBEAT_S = 1.0
+
+#: A claim whose heartbeat is older than this many periods is stale.
+_STALE_HEARTBEATS = 4
+
+#: Test hook: sleep this many milliseconds after each spec execution in a
+#: subprocess worker, widening the mid-shard window fault tests kill in.
+_DELAY_ENV = "REPRO_SHARD_SPEC_DELAY_MS"
+
+#: What a torn or garbage frame tail surfaces as: the pickle machinery
+#: raises different exception types depending on where the bytes were cut
+#: (mid-length prefix, unknown opcode, bad protocol marker, missing
+#: global), and all of them mean the same thing here — end of the valid
+#: prefix.
+_TORN_FRAME_ERRORS = (
+    EOFError,
+    pickle.UnpicklingError,
+    AttributeError,
+    ValueError,
+    IndexError,
+    KeyError,
+)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a sweep's spec list."""
+
+    index: int
+    specs: tuple[RunSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def plan_shards(specs: Sequence[RunSpec], shards: int) -> tuple[Shard, ...]:
+    """Partition ``specs`` into at most ``shards`` contiguous shards.
+
+    A pure function of the inputs: sizes differ by at most one (the
+    remainder lands on the leading shards), order is preserved, and a
+    request for more shards than specs degrades to one-spec shards —
+    empty shards are never produced, so every planned shard does work.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    specs = list(specs)
+    if not specs:
+        return ()
+    shards = min(shards, len(specs))
+    base, extra = divmod(len(specs), shards)
+    planned = []
+    cursor = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        planned.append(Shard(index=index, specs=tuple(specs[cursor : cursor + size])))
+        cursor += size
+    return tuple(planned)
+
+
+def _plan_digest(specs: Sequence[RunSpec], shards: int) -> str:
+    """Content hash binding a result stream to one (spec list, shards) plan."""
+    hasher = hashlib.sha256()
+    hasher.update(str(shards).encode())
+    for spec in specs:
+        hasher.update(spec_key(spec).encode())
+    return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The on-disk result stream
+# ---------------------------------------------------------------------------
+
+
+class ResultStream:
+    """Append-only per-shard result files with a manifest index.
+
+    Layout of the stream directory::
+
+        manifest.json       the shard plan: n_shards, spec count, digest
+        shard-0007.spec     pickled Shard (subprocess workers read these)
+        shard-0007.part     in-progress frames (appended, flushed per spec)
+        shard-0007.results  completed shard (atomic rename of the .part)
+        shard-0007.claim    subprocess-mode ownership + heartbeat (mtime)
+        shard-0007.owner    who completed the shard (provenance)
+
+    Each frame is one ``pickle.dump((spec, result))``, written in spec
+    order and flushed immediately, so readers observe a valid prefix at
+    every instant and a truncated tail (from a crash mid-write) is
+    detected and discarded on the next scan.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def results_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:04d}.results"
+
+    def part_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:04d}.part"
+
+    def spec_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:04d}.spec"
+
+    def claim_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:04d}.claim"
+
+    def owner_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:04d}.owner"
+
+    # -- manifest ------------------------------------------------------------
+
+    def write_manifest(self, shards: Sequence[Shard], digest: str) -> None:
+        """Record the shard plan; validate instead when one already exists.
+
+        A stream directory is bound to exactly one plan: resuming with a
+        different spec list or shard count would silently interleave two
+        sweeps' results, so a digest mismatch fails loudly.
+        """
+        path = self.directory / self.MANIFEST
+        payload = {
+            "version": 1,
+            "n_shards": len(shards),
+            "n_specs": sum(len(s) for s in shards),
+            "digest": digest,
+        }
+        if path.exists():
+            existing = json.loads(path.read_text())
+            if existing.get("digest") != digest:
+                raise ConfigurationError(
+                    f"result stream at {self.directory} was created for a "
+                    "different sweep (spec list or shard count changed); "
+                    "use a fresh stream directory per sweep configuration"
+                )
+            return
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+
+    def manifest(self) -> dict | None:
+        """The recorded shard plan, or None for a fresh directory."""
+        path = self.directory / self.MANIFEST
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # -- shard spec spool (subprocess mode) -----------------------------------
+
+    def write_shard_specs(self, shards: Sequence[Shard]) -> None:
+        """Spool each shard's spec list for subprocess workers to claim."""
+        for shard in shards:
+            path = self.spec_path(shard.index)
+            if path.exists():
+                continue
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("wb") as handle:
+                pickle.dump(shard, handle)
+            os.replace(tmp, path)
+
+    def load_shard(self, index: int) -> Shard:
+        """Load one spooled shard description."""
+        with self.spec_path(index).open("rb") as handle:
+            shard = pickle.load(handle)
+        if not isinstance(shard, Shard) or shard.index != index:
+            raise ConfigurationError(
+                f"corrupt shard spool entry {self.spec_path(index)}"
+            )
+        return shard
+
+    def spooled_indices(self) -> list[int]:
+        """Indices of every spooled shard, ascending."""
+        return sorted(
+            int(path.stem.split("-")[1])
+            for path in self.directory.glob("shard-*.spec")
+        )
+
+    # -- completion state ------------------------------------------------------
+
+    def completed_shards(self) -> list[int]:
+        """Indices of shards whose result files are complete, ascending."""
+        return sorted(
+            int(path.stem.split("-")[1])
+            for path in self.directory.glob("shard-*.results")
+        )
+
+    def is_complete(self, index: int) -> bool:
+        return self.results_path(index).exists()
+
+    # -- reading ---------------------------------------------------------------
+
+    @staticmethod
+    def _iter_frames(path: Path) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Yield the valid frame prefix of one shard file, one at a time."""
+        try:
+            handle = path.open("rb")
+        except OSError:
+            return
+        with handle:
+            while True:
+                try:
+                    frame = pickle.load(handle)
+                except _TORN_FRAME_ERRORS:
+                    return
+                if not isinstance(frame, tuple) or len(frame) != 2:
+                    return
+                yield frame
+
+    def iter_shard(self, index: int) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Yield one completed shard's ``(spec, result)`` frames in order."""
+        yield from self._iter_frames(self.results_path(index))
+
+    def iter_results(self) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Yield every completed frame, shard by shard, lazily from disk."""
+        for index in self.completed_shards():
+            yield from self.iter_shard(index)
+
+    def __len__(self) -> int:
+        """Completed frames on disk (consumes only counters, not results)."""
+        return sum(1 for _ in self.iter_results())
+
+
+class _ShardWriter:
+    """Appends one shard's frames, salvaging any valid prefix on resume.
+
+    Opening the writer scans an existing ``.part`` file left by a crashed
+    or interrupted run: frames whose specs match the shard's spec order
+    are kept (their byte prefix is preserved verbatim, so the final file
+    is bit-identical to an uninterrupted run), everything after the first
+    mismatch or torn frame is truncated, and execution resumes at
+    :attr:`start`.
+    """
+
+    def __init__(self, stream: ResultStream, shard: Shard) -> None:
+        self.stream = stream
+        self.shard = shard
+        self.part = stream.part_path(shard.index)
+        self.start = 0
+        offset = 0
+        if self.part.exists():
+            with self.part.open("rb") as handle:
+                while self.start < len(shard.specs):
+                    try:
+                        frame = pickle.load(handle)
+                    except _TORN_FRAME_ERRORS:
+                        break
+                    if (
+                        not isinstance(frame, tuple)
+                        or len(frame) != 2
+                        or frame[0] != shard.specs[self.start]
+                    ):
+                        break
+                    offset = handle.tell()
+                    self.start += 1
+        self._handle = self.part.open("r+b" if self.part.exists() else "wb")
+        self._handle.truncate(offset)
+        self._handle.seek(offset)
+        self._written = self.start
+
+    def append(self, spec: RunSpec, result: SimulationResult) -> None:
+        pickle.dump((spec, result), self._handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._handle.flush()
+        self._written += 1
+
+    def close(self, completed: bool) -> None:
+        self._handle.close()
+        if completed:
+            if self._written != len(self.shard.specs):
+                raise ConfigurationError(
+                    f"shard {self.shard.index} closed as complete with "
+                    f"{self._written}/{len(self.shard.specs)} frames"
+                )
+            os.replace(self.part, self.stream.results_path(self.shard.index))
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (shared by every mode)
+# ---------------------------------------------------------------------------
+
+
+def _execute_shard(
+    shard: Shard,
+    stream_dir: str | os.PathLike,
+    engine: str | None,
+    delay_ms: float = 0.0,
+    heartbeat: Callable[[], None] | None = None,
+) -> tuple[int, int]:
+    """Run one shard, streaming frames to disk; returns (index, executed).
+
+    Skips work already on disk: a completed shard is a no-op, a partial
+    ``.part`` file resumes after its salvaged prefix.  An engine override
+    rewrites how each spec executes; the *requested* spec is what lands
+    in the frame, so stream contents are override-invariant.
+    """
+    stream = ResultStream(stream_dir)
+    if stream.is_complete(shard.index):
+        return shard.index, 0
+    writer = _ShardWriter(stream, shard)
+    executed = 0
+    try:
+        for spec in shard.specs[writer.start :]:
+            job = spec if engine is None else replace(spec, engine=engine)
+            result = run(job)
+            writer.append(spec, result)
+            executed += 1
+            if heartbeat is not None:
+                heartbeat()
+            if delay_ms > 0.0:
+                time.sleep(delay_ms / 1000.0)
+    except BaseException:
+        writer.close(completed=False)
+        raise
+    writer.close(completed=True)
+    return shard.index, executed
+
+
+# ---------------------------------------------------------------------------
+# Executor statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardStats:
+    """Accounting of one sharded execution."""
+
+    shards: int = 0
+    specs: int = 0
+    executed: int = 0
+    salvaged: int = 0
+    skipped_shards: int = 0
+    steals: int = 0
+    requeues: int = 0
+    workers: int = 0
+    inline_fallback: int = 0
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class ShardedExecutor:
+    """Work-stealing execution of spec shards over a spill-to-disk stream.
+
+    Parameters
+    ----------
+    shards:
+        Target shard count (capped at the spec count).
+    workers:
+        Concurrent workers (ignored by ``inline`` mode).
+    mode:
+        One of :data:`SHARD_MODES`.
+    stream_dir:
+        Directory for the :class:`ResultStream`.  Reusing a directory
+        resumes the identical sweep: completed shards are skipped, a
+        partial shard resumes after its salvaged prefix.
+    engine:
+        Optional execution-engine override (``"vector"`` / ``"scalar"``)
+        applied at execution only; streamed frames keep requested specs.
+    heartbeat_s:
+        Subprocess-mode heartbeat period; a claim is considered stale —
+        and its shard requeued for stealing — after four missed beats.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        workers: int = 1,
+        mode: str = "inline",
+        stream_dir: str | os.PathLike | None = None,
+        engine: str | None = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    ) -> None:
+        if mode not in SHARD_MODES:
+            raise ConfigurationError(
+                f"unknown shard mode {mode!r}; known: {SHARD_MODES}"
+            )
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if heartbeat_s <= 0:
+            raise ConfigurationError("heartbeat_s must be > 0")
+        self.shards = shards
+        self.workers = workers
+        self.mode = mode
+        self.engine = engine
+        self.heartbeat_s = heartbeat_s
+        self._stream_dir = stream_dir
+        self._tempdir = None
+        self.stats = ShardStats()
+        self.stream: ResultStream | None = None
+
+    def _resolve_stream(self) -> ResultStream:
+        if self._stream_dir is None:
+            import tempfile
+
+            self._tempdir = tempfile.TemporaryDirectory(prefix="qvr-shards-")
+            self._stream_dir = self._tempdir.name
+        self.stream = ResultStream(self._stream_dir)
+        return self.stream
+
+    def cleanup(self) -> None:
+        """Remove the temporary stream directory, when this executor owns one."""
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(
+        self, specs: Iterable[RunSpec]
+    ) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Execute specs shard by shard, yielding frames as shards complete.
+
+        Frames stream lazily from the spill files (memory stays bounded
+        by one pickle frame plus whatever the consumer retains); each
+        unique spec is yielded exactly once.  Yield order follows shard
+        *completion* order, which is timing-dependent — consumers key by
+        spec, and the on-disk stream itself is deterministic.
+        """
+        planned = plan_shards(list(specs), self.shards)
+        stream = self._resolve_stream()
+        self.stats.shards = len(planned)
+        self.stats.specs = sum(len(s) for s in planned)
+        if not planned:
+            return
+        digest = _plan_digest([s for shard in planned for s in shard.specs], len(planned))
+        stream.write_manifest(planned, digest)
+
+        done = set(stream.completed_shards())
+        pending = [shard for shard in planned if shard.index not in done]
+        self.stats.skipped_shards = len(planned) - len(pending)
+        for index in sorted(done):
+            yield from stream.iter_shard(index)
+        if not pending:
+            return
+
+        one_worker = len(pending) == 1 or self.workers == 1
+        if self.mode == "inline" or (self.mode == "process" and one_worker):
+            # A single process-pool worker is sequential execution with
+            # pickling overhead; run the reference inline order instead.
+            yield from self._run_inline(pending)
+            return
+        if self.mode == "process":
+            runner = self._run_pool(pending)
+        else:
+            runner = self._run_subprocess(pending)
+        for index in runner:
+            yield from stream.iter_shard(index)
+
+    # -- inline ---------------------------------------------------------------
+
+    def _run_inline(
+        self, pending: list[Shard]
+    ) -> Iterator[tuple[RunSpec, SimulationResult]]:
+        """Execute shards in this process, yielding frames as they finish.
+
+        Results cross no process boundary here, so each frame is yielded
+        live while its bytes are spilled — the multi-process modes'
+        write-then-read-back round trip would be pure overhead.  The
+        spill files still record every frame (same resume and provenance
+        contract as the other modes); a salvaged prefix is replayed from
+        disk before execution resumes after it.
+        """
+        for shard in pending:
+            writer = _ShardWriter(self.stream, shard)
+            self.stats.salvaged += writer.start
+            if writer.start:
+                # The writer truncated the spill to exactly the salvaged
+                # prefix, so a plain scan replays just those frames.
+                yield from ResultStream._iter_frames(
+                    self.stream.part_path(shard.index)
+                )
+            try:
+                for spec in shard.specs[writer.start :]:
+                    job = spec if self.engine is None else replace(spec, engine=self.engine)
+                    result = run(job)
+                    writer.append(spec, result)
+                    self.stats.executed += 1
+                    yield spec, result
+            except BaseException:
+                writer.close(completed=False)
+                raise
+            writer.close(completed=True)
+
+    # -- process pool ----------------------------------------------------------
+
+    def _run_pool(self, pending: list[Shard]) -> Iterator[int]:
+        """Parent-scheduled work stealing over a process pool.
+
+        Shards are dealt round-robin into per-worker queues; a finishing
+        worker takes the next shard from the head of its own queue, or —
+        once drained — steals from the *tail* of the longest surviving
+        queue.  The pool itself runs tasks wherever a process is free,
+        so the queues model scheduling order (which shard is dispatched
+        when and counted as a steal), not processor affinity.
+        """
+        workers = min(self.workers, len(pending))
+        self.stats.workers = workers
+        queues: list[deque[Shard]] = [deque() for _ in range(workers)]
+        for position, shard in enumerate(pending):
+            queues[position % workers].append(shard)
+        for shard in pending:
+            self.stats.salvaged += _salvage_count(self.stream, shard)
+
+        def next_shard(worker: int) -> tuple[Shard, bool] | None:
+            if queues[worker]:
+                return queues[worker].popleft(), False
+            victim = max(range(workers), key=lambda w: (len(queues[w]), -w))
+            if queues[victim]:
+                return queues[victim].pop(), True
+            return None
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict[concurrent.futures.Future, int] = {}
+
+            def dispatch(worker: int) -> None:
+                claimed = next_shard(worker)
+                if claimed is None:
+                    return
+                shard, stolen = claimed
+                if stolen:
+                    self.stats.steals += 1
+                future = pool.submit(
+                    _execute_shard, shard, str(self.stream.directory), self.engine
+                )
+                futures[future] = worker
+
+            for worker in range(workers):
+                dispatch(worker)
+            while futures:
+                completed = next(concurrent.futures.as_completed(futures))
+                worker = futures.pop(completed)
+                index, executed = completed.result()
+                self.stats.executed += executed
+                dispatch(worker)
+                yield index
+
+    # -- subprocess (simulated multi-machine) -----------------------------------
+
+    def _run_subprocess(self, pending: list[Shard]) -> Iterator[int]:
+        """Spool shards, launch claim-based workers, police heartbeats.
+
+        The parent's only runtime roles are liveness and completion: it
+        requeues shards whose claimant died or stopped heartbeating (the
+        surviving workers then steal them), and falls back to inline
+        execution if every worker has exited with work still pending, so
+        the sweep always completes.
+        """
+        stream = self.stream
+        stream.write_shard_specs(pending)
+        for shard in pending:
+            self.stats.salvaged += _salvage_count(stream, shard)
+        workers = min(self.workers, len(pending))
+        self.stats.workers = workers
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.sim.shard",
+                    "--spool",
+                    str(stream.directory),
+                    "--worker-id",
+                    str(worker),
+                    "--workers",
+                    str(workers),
+                    "--heartbeat",
+                    str(self.heartbeat_s),
+                ]
+                + ([] if self.engine is None else ["--engine", self.engine]),
+                env=env,
+            )
+            for worker in range(workers)
+        ]
+        stale_after = self.heartbeat_s * _STALE_HEARTBEATS
+        remaining = {shard.index: shard for shard in pending}
+        executed_before = {
+            shard.index: _salvage_count(stream, shard) for shard in pending
+        }
+        try:
+            while remaining:
+                for index in sorted(remaining):
+                    if stream.is_complete(index):
+                        shard = remaining.pop(index)
+                        self.stats.executed += len(shard.specs) - executed_before[index]
+                        yield index
+                if not remaining:
+                    break
+                self._requeue_stale(remaining, stale_after)
+                if all(proc.poll() is not None for proc in procs):
+                    # Every worker exited; run what is left ourselves.
+                    leftovers = [
+                        remaining[index]
+                        for index in sorted(remaining)
+                        if not stream.is_complete(index)
+                    ]
+                    for shard in leftovers:
+                        stream.claim_path(shard.index).unlink(missing_ok=True)
+                        before = _salvage_count(stream, shard)
+                        _execute_shard(shard, stream.directory, self.engine)
+                        self.stats.executed += len(shard.specs) - before
+                        self.stats.inline_fallback += 1
+                        _write_owner(stream, shard.index, "parent")
+                        del remaining[shard.index]
+                        yield shard.index
+                    break
+                time.sleep(min(0.05, self.heartbeat_s / 4))
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    def _requeue_stale(self, remaining: dict[int, Shard], stale_after: float) -> None:
+        """Release claims whose owner died or whose heartbeat went stale."""
+        now = time.time()
+        for index in list(remaining):
+            claim = self.stream.claim_path(index)
+            if self.stream.is_complete(index) or not claim.exists():
+                continue
+            try:
+                payload = json.loads(claim.read_text())
+                pid = int(payload.get("pid", -1))
+                beat = claim.stat().st_mtime
+            except (OSError, ValueError):
+                continue  # torn claim write; judge it next poll
+            dead = not _pid_alive(pid)
+            if dead or now - beat > stale_after:
+                claim.unlink(missing_ok=True)
+                self.stats.requeues += 1
+
+
+def _salvage_count(stream: ResultStream, shard: Shard) -> int:
+    """Frames of ``shard`` already valid on disk (its resumable prefix)."""
+    if stream.is_complete(shard.index):
+        return len(shard.specs)
+    count = 0
+    for spec, _ in stream._iter_frames(stream.part_path(shard.index)):
+        if count >= len(shard.specs) or spec != shard.specs[count]:
+            break
+        count += 1
+    return count
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def _write_owner(stream: ResultStream, index: int, owner: str) -> None:
+    try:
+        stream.owner_path(index).write_text(owner + "\n")
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Subprocess worker entry point (``python -m repro.sim.shard``)
+# ---------------------------------------------------------------------------
+
+
+def _claim(stream: ResultStream, index: int, worker: int) -> bool:
+    """Atomically claim one shard; False when another worker holds it."""
+    try:
+        fd = os.open(stream.claim_path(index), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w") as handle:
+        json.dump({"pid": os.getpid(), "worker": worker}, handle)
+    return True
+
+
+def _next_claimable(stream: ResultStream, worker: int, workers: int) -> tuple[int, bool] | None:
+    """The next shard this worker should take, and whether it is a steal.
+
+    Own-partition shards (``index % workers == worker``) come first in
+    ascending order; once the partition is drained, unclaimed shards are
+    stolen from the tail (descending index) — the work-stealing
+    discipline that keeps every machine busy through stragglers.
+    """
+    spooled = stream.spooled_indices()
+    candidates = [i for i in spooled if not stream.is_complete(i) and not stream.claim_path(i).exists()]
+    own = [i for i in candidates if i % workers == worker]
+    if own:
+        return own[0], False
+    if candidates:
+        return candidates[-1], True
+    return None
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    """Claim-execute-heartbeat loop of one subprocess shard worker."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=worker_main.__doc__)
+    parser.add_argument("--spool", required=True, help="stream/spool directory")
+    parser.add_argument("--worker-id", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--engine", default=None)
+    parser.add_argument("--heartbeat", type=float, default=DEFAULT_HEARTBEAT_S)
+    args = parser.parse_args(argv)
+
+    stream = ResultStream(args.spool)
+    delay_ms = float(os.environ.get(_DELAY_ENV, "0") or "0")
+    last_beat = time.monotonic()
+
+    def heartbeat_for(index: int) -> Callable[[], None]:
+        claim = stream.claim_path(index)
+
+        def beat() -> None:
+            nonlocal last_beat
+            now = time.monotonic()
+            if now - last_beat >= args.heartbeat / 2:
+                try:
+                    os.utime(claim)
+                except OSError:
+                    pass
+                last_beat = now
+
+        return beat
+
+    label = f"worker-{args.worker_id}"
+    while True:
+        claimable = _next_claimable(stream, args.worker_id, args.workers)
+        if claimable is None:
+            return 0
+        index, _stolen = claimable
+        if not _claim(stream, index, args.worker_id):
+            continue  # lost the race; look again
+        try:
+            shard = stream.load_shard(index)
+            _execute_shard(
+                shard,
+                stream.directory,
+                args.engine,
+                delay_ms=delay_ms,
+                heartbeat=heartbeat_for(index),
+            )
+            _write_owner(stream, index, label)
+        finally:
+            stream.claim_path(index).unlink(missing_ok=True)
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via subprocess tests
+    # `python -m repro.sim.shard` loads this file as ``__main__``; delegate to
+    # the canonically imported module so pickled Shard objects (restored as
+    # ``repro.sim.shard.Shard``) pass the isinstance checks in load_shard.
+    from repro.sim.shard import worker_main as _canonical_worker_main
+
+    raise SystemExit(_canonical_worker_main())

@@ -5,7 +5,13 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.sim.metrics import FrameRecord, SimulationResult
+from repro.sim.metrics import (
+    FrameRecord,
+    QuantileSketch,
+    RunningMoments,
+    SimulationResult,
+    StreamSummary,
+)
 
 
 def record(index, tracking, display, path=None, **kwargs):
@@ -167,3 +173,153 @@ class TestTailFps:
     def test_too_few_steady_frames_is_nan(self):
         result = self._result([10.0], warmup=1)
         assert math.isnan(result.p99_fps)
+
+
+# ---------------------------------------------------------------------------
+# Streaming aggregation primitives (sharded-sweep support)
+# ---------------------------------------------------------------------------
+
+
+class TestRunningMoments:
+    def test_matches_exact_statistics(self):
+        import numpy as np
+
+        values = np.random.default_rng(7).lognormal(2.0, 0.8, size=500)
+        moments = RunningMoments()
+        moments.extend(values)
+        assert moments.count == 500
+        assert moments.mean == pytest.approx(float(np.mean(values)))
+        assert moments.std == pytest.approx(float(np.std(values)))
+        assert moments.min == float(np.min(values))
+        assert moments.max == float(np.max(values))
+
+    def test_merge_of_halves_equals_whole(self):
+        import numpy as np
+
+        values = np.random.default_rng(11).normal(50.0, 9.0, size=401)
+        whole = RunningMoments()
+        whole.extend(values)
+        left, right = RunningMoments(), RunningMoments()
+        left.extend(values[:137])
+        right.extend(values[137:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.variance == pytest.approx(whole.variance)
+        assert left.min == whole.min
+        assert left.max == whole.max
+
+    def test_merge_into_empty_copies(self):
+        source = RunningMoments()
+        source.extend([1.0, 2.0, 3.0])
+        target = RunningMoments()
+        target.merge(source)
+        assert target.count == 3
+        assert target.mean == pytest.approx(2.0)
+        source.merge(RunningMoments())  # merging an empty is a no-op
+        assert source.count == 3
+
+    def test_nan_values_are_skipped(self):
+        moments = RunningMoments()
+        moments.extend([1.0, float("nan"), 3.0])
+        assert moments.count == 2
+        assert moments.mean == pytest.approx(2.0)
+
+    def test_empty_reports_nan(self):
+        moments = RunningMoments()
+        assert math.isnan(moments.variance)
+        assert math.isnan(moments.std)
+
+
+class TestQuantileSketch:
+    def test_quantiles_within_relative_error_bound(self):
+        import numpy as np
+
+        values = np.random.default_rng(3).lognormal(2.5, 1.0, size=5000)
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        bound = 10.0 ** (1.0 / (2 * sketch.bins_per_decade)) - 1.0
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.quantile(values, q))
+            got = sketch.quantile(q)
+            assert abs(got - exact) / exact <= 2 * bound
+
+    def test_merge_equals_whole_stream(self):
+        import numpy as np
+
+        values = np.random.default_rng(5).lognormal(1.0, 0.7, size=1000)
+        whole = QuantileSketch()
+        whole.extend(values)
+        left, right = QuantileSketch(), QuantileSketch()
+        left.extend(values[:333])
+        right.extend(values[333:])
+        left.merge(right)
+        assert left.count == whole.count
+        for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            assert left.quantile(q) == whole.quantile(q)
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch().merge(QuantileSketch(bins_per_decade=8))
+
+    def test_out_of_range_values_clamp(self):
+        sketch = QuantileSketch(min_value=1.0, max_value=10.0)
+        sketch.extend([-5.0, 0.0, 1e9])
+        assert sketch.count == 3
+        assert sketch.quantile(0.0) >= 1.0
+        assert sketch.quantile(1.0) <= 10.0
+
+    def test_empty_and_invalid_inputs(self):
+        sketch = QuantileSketch()
+        assert math.isnan(sketch.quantile(0.5))
+        with pytest.raises(ConfigurationError):
+            sketch.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(min_value=0.0)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(bins_per_decade=0)
+
+
+class TestStreamSummary:
+    def test_row_reports_every_statistic(self):
+        summary = StreamSummary()
+        summary.extend(float(v) for v in range(1, 101))
+        row = summary.row()
+        assert set(row) == {"count", "mean", "std", "min", "p50", "p90", "p99", "max"}
+        assert row["count"] == 100
+        assert row["mean"] == pytest.approx(50.5)
+        assert row["min"] == 1.0
+        assert row["max"] == 100.0
+        assert row["p50"] == pytest.approx(50.5, rel=0.05)
+
+    def test_merge_across_shards(self):
+        parts = [StreamSummary() for _ in range(3)]
+        for index, part in enumerate(parts):
+            part.extend(float(v) for v in range(index * 100, (index + 1) * 100))
+        total = StreamSummary()
+        for part in parts:
+            total.merge(part)
+        assert total.count == 300
+        assert total.min == 0.0
+        assert total.max == 299.0
+
+    def test_empty_summary_is_nan(self):
+        summary = StreamSummary()
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.p50)
+
+    def test_fold_into_consumes_steady_state_series(self):
+        n, warmup, period = 12, 2, 10.0
+        records = [
+            record(i, tracking=i * period, display=i * period + 15.0, path=20.0)
+            for i in range(n)
+        ]
+        result = SimulationResult("qvr", "TestApp", records, warmup_frames=warmup)
+        latency, fps = StreamSummary(), StreamSummary()
+        result.fold_into(latency=latency, fps=fps)
+        assert latency.count == n - warmup
+        assert latency.mean == pytest.approx(20.0)
+        assert fps.count == n - warmup - 1
+        assert fps.mean == pytest.approx(1000.0 / period)
+        assert fps.p50 == pytest.approx(1000.0 / period, rel=0.05)

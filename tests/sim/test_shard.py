@@ -1,0 +1,361 @@
+"""Tests for the sharded work-stealing executor and its result stream.
+
+Bit-identity is asserted through ``pickle.dumps`` equality (dataclass
+``==`` is false-negative on NaN fields); the determinism contract under
+test is that any shard count, worker count, execution mode, crash, or
+resume produces byte-identical results to a flat serial run.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.runner import BatchEngine, RunSpec, Sweep, run, spec_key
+from repro.sim import shard as shard_module
+from repro.sim.shard import (
+    _DELAY_ENV,
+    _plan_digest,
+    ResultStream,
+    Shard,
+    ShardedExecutor,
+    plan_shards,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _sweep_specs(seeds=(0, 1, 2)) -> list[RunSpec]:
+    return Sweep(
+        systems=("local", "remote", "static"),
+        apps=("Doom3-L", "GRID"),
+        seeds=seeds,
+        n_frames=25,
+        warmup_frames=5,
+    ).specs()
+
+
+def _reference(specs) -> dict[str, bytes]:
+    return {spec_key(spec): pickle.dumps(run(spec)) for spec in specs}
+
+
+def _collect(executor: ShardedExecutor, specs) -> dict[str, bytes]:
+    try:
+        return {
+            spec_key(spec): pickle.dumps(result)
+            for spec, result in executor.execute(specs)
+        }
+    finally:
+        executor.cleanup()
+
+
+class TestPlanShards:
+    def test_contiguous_and_balanced(self):
+        specs = _sweep_specs()
+        planned = plan_shards(specs, 4)
+        assert len(planned) == 4
+        sizes = [len(s) for s in planned]
+        assert max(sizes) - min(sizes) <= 1
+        flattened = [spec for s in planned for spec in s.specs]
+        assert flattened == list(specs)
+        assert [s.index for s in planned] == [0, 1, 2, 3]
+
+    def test_more_shards_than_specs_degrades_to_singletons(self):
+        specs = _sweep_specs(seeds=(0,))[:3]
+        planned = plan_shards(specs, 99)
+        assert len(planned) == 3
+        assert all(len(s) == 1 for s in planned)
+
+    def test_empty_specs_plan_nothing(self):
+        assert plan_shards([], 8) == ()
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(_sweep_specs(), 0)
+
+
+class TestBitParityAcrossShards:
+    def test_inline_parity_at_every_shard_count(self):
+        specs = _sweep_specs()
+        reference = _reference(specs)
+        for shards in (1, 4, 16):
+            executor = ShardedExecutor(shards=shards, mode="inline")
+            assert _collect(executor, specs) == reference
+
+    def test_process_pool_parity_with_stealing(self):
+        specs = _sweep_specs()
+        reference = _reference(specs)
+        executor = ShardedExecutor(shards=7, workers=2, mode="process")
+        assert _collect(executor, specs) == reference
+        assert executor.stats.workers == 2
+        assert executor.stats.executed == len(specs)
+
+    def test_subprocess_parity(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))
+        reference = _reference(specs)
+        executor = ShardedExecutor(
+            shards=3, workers=2, mode="subprocess", stream_dir=tmp_path
+        )
+        assert _collect(executor, specs) == reference
+        assert executor.stats.inline_fallback == 0
+        owners = {
+            index: (tmp_path / f"shard-{index:04d}.owner").read_text().strip()
+            for index in range(3)
+        }
+        assert all(owner.startswith("worker-") for owner in owners.values())
+
+    def test_single_spec_sweep(self):
+        specs = _sweep_specs(seeds=(0,))[:1]
+        reference = _reference(specs)
+        executor = ShardedExecutor(shards=8, workers=4, mode="process")
+        assert _collect(executor, specs) == reference
+        assert executor.stats.shards == 1
+
+    def test_empty_sweep_yields_nothing(self):
+        executor = ShardedExecutor(shards=4, mode="inline")
+        assert _collect(executor, []) == {}
+        assert executor.stats.shards == 0
+
+
+class TestExecutorValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(mode="cluster")
+
+    def test_nonpositive_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(shards=0)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(workers=0)
+
+    def test_nonpositive_heartbeat_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(heartbeat_s=0.0)
+
+
+class TestResultStream:
+    def test_manifest_binds_stream_to_one_plan(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))
+        executor = ShardedExecutor(shards=2, mode="inline", stream_dir=tmp_path)
+        _collect(executor, specs)
+        other = _sweep_specs(seeds=(1,))
+        stale = ShardedExecutor(shards=2, mode="inline", stream_dir=tmp_path)
+        with pytest.raises(ConfigurationError):
+            list(stale.execute(other))
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))[:2]
+        stream = ResultStream(tmp_path)
+        path = stream.results_path(0)
+        with path.open("wb") as handle:
+            pickle.dump((specs[0], run(specs[0])), handle)
+            handle.write(b"\x80torn-frame-garbage")
+        frames = list(stream.iter_shard(0))
+        assert len(frames) == 1
+        assert pickle.dumps(frames[0][1]) == pickle.dumps(run(specs[0]))
+
+    def test_len_counts_completed_frames(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))
+        executor = ShardedExecutor(shards=3, mode="inline", stream_dir=tmp_path)
+        _collect(executor, specs)
+        assert len(ResultStream(tmp_path)) == len(specs)
+
+
+class TestResume:
+    def test_completed_stream_is_not_reexecuted(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))
+        first = ShardedExecutor(shards=3, mode="inline", stream_dir=tmp_path)
+        reference = _collect(first, specs)
+        second = ShardedExecutor(shards=3, mode="inline", stream_dir=tmp_path)
+        assert _collect(second, specs) == reference
+        assert second.stats.executed == 0
+        assert second.stats.skipped_shards == 3
+
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path, monkeypatch):
+        specs = _sweep_specs(seeds=(0,))
+        reference = _reference(specs)
+        real_run = shard_module.run
+        calls = []
+
+        def interrupted(spec):
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            calls.append(spec)
+            return real_run(spec)
+
+        monkeypatch.setattr(shard_module, "run", interrupted)
+        first = ShardedExecutor(shards=1, mode="inline", stream_dir=tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            list(first.execute(specs))
+        monkeypatch.setattr(shard_module, "run", real_run)
+
+        stream = ResultStream(tmp_path)
+        assert stream.part_path(0).exists()
+        assert not stream.is_complete(0)
+        # A crash can also tear the tail of the spill file mid-write; the
+        # salvage scan must drop exactly the torn frame and keep the prefix.
+        with stream.part_path(0).open("ab") as handle:
+            handle.write(b"\x80torn")
+
+        second = ShardedExecutor(shards=1, mode="inline", stream_dir=tmp_path)
+        assert _collect(second, specs) == reference
+        assert second.stats.salvaged == 2
+        assert second.stats.executed == len(specs) - 2
+
+
+class TestSubprocessFaults:
+    def _spool(self, tmp_path, specs, shards):
+        planned = plan_shards(specs, shards)
+        stream = ResultStream(tmp_path)
+        stream.write_manifest(planned, _plan_digest(specs, len(planned)))
+        stream.write_shard_specs(planned)
+        return stream, planned
+
+    def test_killed_worker_mid_shard_is_requeued_and_stolen(self, tmp_path):
+        specs = _sweep_specs(seeds=(0, 1))
+        reference = _reference(specs)
+        stream, planned = self._spool(tmp_path, specs, 2)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        env[_DELAY_ENV] = "300"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.sim.shard",
+                "--spool",
+                str(tmp_path),
+                "--worker-id",
+                "0",
+                "--workers",
+                "1",
+            ],
+            env=env,
+        )
+        part = stream.part_path(0)
+        deadline = time.monotonic() + 60
+        try:
+            while time.monotonic() < deadline:
+                if part.exists() and part.stat().st_size > 0:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("worker never flushed a frame to the spill file")
+        finally:
+            proc.kill()
+            proc.wait()
+
+        # The dead worker leaves its claim behind; the next run must
+        # release it, salvage the flushed prefix, and finish elsewhere.
+        assert stream.claim_path(0).exists()
+        executor = ShardedExecutor(
+            shards=2, workers=2, mode="subprocess", stream_dir=tmp_path
+        )
+        assert _collect(executor, specs) == reference
+        assert executor.stats.requeues >= 1
+        assert executor.stats.salvaged >= 1
+        owner = stream.owner_path(0).read_text().strip()
+        assert owner in {"worker-0", "worker-1", "parent"}
+
+    def test_parent_finishes_when_every_worker_exits(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))
+        reference = _reference(specs)
+        stream, planned = self._spool(tmp_path, specs, 2)
+        # Claims held by a live process (this test) with fresh heartbeats
+        # are unstealable: the workers find nothing claimable and exit,
+        # and the parent must then complete the sweep inline itself.
+        for shard in planned:
+            path = stream.claim_path(shard.index)
+            path.write_text('{"pid": %d, "worker": 99}' % os.getpid())
+        executor = ShardedExecutor(
+            shards=2, workers=2, mode="subprocess", stream_dir=tmp_path
+        )
+        assert _collect(executor, specs) == reference
+        assert executor.stats.inline_fallback == 2
+        for shard in planned:
+            assert stream.owner_path(shard.index).read_text().strip() == "parent"
+
+    def test_stale_claim_from_dead_pid_is_released(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))
+        reference = _reference(specs)
+        stream, planned = self._spool(tmp_path, specs, 3)
+        # PID 2**22 + 1 exceeds every default pid_max on Linux: certainly dead.
+        stream.claim_path(1).write_text('{"pid": 4194305, "worker": 7}')
+        executor = ShardedExecutor(
+            shards=3, workers=2, mode="subprocess", stream_dir=tmp_path
+        )
+        assert _collect(executor, specs) == reference
+        assert executor.stats.requeues >= 1
+
+
+class TestBatchEngineIntegration:
+    def test_sharded_engine_matches_flat_engine(self):
+        specs = _sweep_specs(seeds=(0,))
+        flat = BatchEngine(jobs=1)
+        reference = {
+            spec_key(s): pickle.dumps(r) for s, r in flat.run_specs(specs).items()
+        }
+        for shards in (1, 4, 16):
+            engine = BatchEngine(jobs=2, shards=shards, shard_mode="process")
+            got = {
+                spec_key(s): pickle.dumps(r) for s, r in engine.run_specs(specs).items()
+            }
+            assert got == reference
+            assert engine.last_shard_stats is not None
+            assert engine.last_shard_stats.specs == len(specs)
+
+    def test_stream_specs_is_bit_identical_and_unmemoized(self):
+        specs = _sweep_specs(seeds=(0,))
+        flat = BatchEngine(jobs=1)
+        reference = {
+            spec_key(s): pickle.dumps(r) for s, r in flat.run_specs(specs).items()
+        }
+        engine = BatchEngine(jobs=1, shards=4, shard_mode="inline")
+        got = {
+            spec_key(s): pickle.dumps(r) for s, r in engine.stream_specs(specs)
+        }
+        assert got == reference
+        # The streaming path must not retain results in process memory.
+        assert engine._memo == {}
+
+    def test_stream_specs_replays_from_cache(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))
+        first = BatchEngine(jobs=1, cache_dir=tmp_path)
+        reference = {
+            spec_key(s): pickle.dumps(r) for s, r in first.stream_specs(specs)
+        }
+        second = BatchEngine(jobs=1, cache_dir=tmp_path, shards=2)
+        got = {
+            spec_key(s): pickle.dumps(r) for s, r in second.stream_specs(specs)
+        }
+        assert got == reference
+        assert second.stats.cache_hits == len(specs)
+        assert second.stats.executed == 0
+
+    def test_engine_validates_shard_options(self):
+        with pytest.raises(ConfigurationError):
+            BatchEngine(shards=0)
+        with pytest.raises(ConfigurationError):
+            BatchEngine(shards=2, shard_mode="cluster")
+
+    def test_resumable_stream_dir_through_engine(self, tmp_path):
+        specs = _sweep_specs(seeds=(0,))
+        first = BatchEngine(shards=3, shard_mode="inline", stream_dir=tmp_path)
+        reference = {
+            spec_key(s): pickle.dumps(r) for s, r in first.run_specs(specs).items()
+        }
+        second = BatchEngine(shards=3, shard_mode="inline", stream_dir=tmp_path)
+        got = {
+            spec_key(s): pickle.dumps(r) for s, r in second.run_specs(specs).items()
+        }
+        assert got == reference
+        assert second.last_shard_stats.executed == 0
+        assert second.last_shard_stats.skipped_shards == 3
