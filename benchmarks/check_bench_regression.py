@@ -226,6 +226,114 @@ def compare(
     return rows, failures
 
 
+def compare_population(
+    baseline: dict,
+    fresh: dict,
+    max_shard_regression: float = 0.25,
+    max_serial_slowdown: float = 0.50,
+    max_volume_drift: float = 0.02,
+) -> tuple[list[list[str]], list[str]]:
+    """Gate a fresh BENCH_population.json against its committed baseline.
+
+    Mirrors the batch gate's structure: the sharded speedup is a
+    ratio-of-same-run (machine speed cancels), the serial wall time gets
+    the generous cross-machine tolerance, and two timing-free checks —
+    the serial and sharded reports must be bit-identical
+    (``deterministic``), and the expanded city must stay the same size
+    (``client_sessions`` within ``max_volume_drift``, absorbing libm
+    rounding differences in the arrival sampler across platforms while
+    catching any real change to the expansion).
+    """
+    failures: list[str] = []
+    rows: list[list[str]] = []
+
+    base_speedup = float(baseline["speedup_population_shard"])
+    new_speedup = float(fresh["speedup_population_shard"])
+    floor = base_speedup * (1.0 - max_shard_regression)
+    speedup_ok = new_speedup >= floor
+    rows.append(
+        [
+            "population sharded speedup (serial / sharded)",
+            f"{_fmt(base_speedup)}x",
+            f"{_fmt(new_speedup)}x",
+            f">= {_fmt(floor)}x",
+            "ok" if speedup_ok else "REGRESSED",
+        ]
+    )
+    if not speedup_ok:
+        failures.append(
+            f"population sharded speedup regressed more than "
+            f"{max_shard_regression:.0%}: {_fmt(base_speedup)}x -> "
+            f"{_fmt(new_speedup)}x (floor {_fmt(floor)}x)"
+        )
+
+    base_serial = float(baseline["population_serial_s"])
+    new_serial = float(fresh["population_serial_s"])
+    ceiling = base_serial * (1.0 + max_serial_slowdown)
+    serial_ok = new_serial <= ceiling
+    rows.append(
+        [
+            "population serial wall time",
+            f"{_fmt(base_serial)}s",
+            f"{_fmt(new_serial)}s",
+            f"<= {_fmt(ceiling)}s",
+            "ok" if serial_ok else "REGRESSED",
+        ]
+    )
+    if not serial_ok:
+        failures.append(
+            f"population serial wall time grew more than "
+            f"{max_serial_slowdown:.0%}: {_fmt(base_serial)}s -> "
+            f"{_fmt(new_serial)}s (ceiling {_fmt(ceiling)}s)"
+        )
+
+    deterministic = bool(fresh.get("deterministic", False))
+    rows.append(
+        [
+            "population report determinism (serial == sharded)",
+            str(baseline.get("deterministic", "-")),
+            str(deterministic),
+            "true",
+            "ok" if deterministic else "DIVERGED",
+        ]
+    )
+    if not deterministic:
+        failures.append(
+            "fresh population run reports serial/sharded report divergence"
+        )
+
+    base_volume = int(baseline["client_sessions"])
+    new_volume = int(fresh["client_sessions"])
+    drift = abs(new_volume - base_volume) / base_volume if base_volume else 1.0
+    volume_ok = drift <= max_volume_drift
+    rows.append(
+        [
+            "population client-sessions",
+            str(base_volume),
+            str(new_volume),
+            f"within {max_volume_drift:.0%}",
+            "ok" if volume_ok else "BROKEN",
+        ]
+    )
+    if not volume_ok:
+        failures.append(
+            f"expanded city changed size: {base_volume} -> {new_volume} "
+            f"client-sessions ({drift:.1%} drift, limit {max_volume_drift:.0%})"
+        )
+
+    for key, label, unit in (
+        ("plan_s", "population plan time", "s"),
+        ("specs_per_s", "population plan throughput", " specs/s"),
+        ("population_shard_s", "population sharded cold", "s"),
+        ("sessions", "population sessions", ""),
+    ):
+        if key in baseline and key in fresh:
+            rows.append(
+                [label, f"{baseline[key]}{unit}", f"{fresh[key]}{unit}", "-", "info"]
+            )
+    return rows, failures
+
+
 def build_leaderboard(
     baseline: dict,
     fresh: dict,
@@ -377,6 +485,15 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 0.25 = 25%%)",
     )
     parser.add_argument(
+        "--population-baseline", default=None, metavar="PATH",
+        help="committed BENCH_population.json baseline; with "
+        "--population-fresh, the population gate joins the comparison",
+    )
+    parser.add_argument(
+        "--population-fresh", default=None, metavar="PATH",
+        help="freshly produced BENCH_population.json",
+    )
+    parser.add_argument(
         "--leaderboard-json", default=None, metavar="PATH",
         help="also write the comparison as a leaderboard JSON document",
     )
@@ -401,6 +518,19 @@ def main(argv: list[str] | None = None) -> int:
         args.max_kernel_regression,
         args.max_shard_regression,
     )
+    if bool(args.population_baseline) != bool(args.population_fresh):
+        parser.error(
+            "--population-baseline and --population-fresh go together"
+        )
+    if args.population_baseline:
+        pop_rows, pop_failures = compare_population(
+            json.loads(Path(args.population_baseline).read_text()),
+            json.loads(Path(args.population_fresh).read_text()),
+            max_shard_regression=args.max_shard_regression,
+            max_serial_slowdown=args.max_serial_slowdown,
+        )
+        rows += pop_rows
+        failures += pop_failures
     report = render_markdown(rows, failures)
     print(report)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")

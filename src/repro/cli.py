@@ -48,6 +48,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import sys
 import time
 
 from repro.analysis.experiments import (
@@ -64,7 +65,14 @@ from repro.errors import ConfigurationError
 from repro.motion.traces import generate_trace
 from repro.network.conditions import by_name
 from repro.network.profile import PiecewiseProfile, as_profile, profile_by_name
-from repro.sim.fleet import RenderFleet, ServerDown, ServerFail, ServerUp
+from repro.sim.demand import DemandScenario, run_population
+from repro.sim.fleet import (
+    RenderFleet,
+    ServerDown,
+    ServerFail,
+    ServerUp,
+    fleet_from_payload,
+)
 from repro.sim.multiuser import (
     ClientSpec,
     MultiUserScenario,
@@ -122,10 +130,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "fleet (claim files, heartbeats, requeue), or inline",
     )
     parser.add_argument(
-        "--stream", default=None, metavar="DIR", dest="stream_dir",
-        help="spill-to-disk result stream directory for sharded runs; "
-        "reusing it resumes an interrupted sweep (completed shards are "
-        "skipped, partial shard files resume after their valid prefix)",
+        "--stream", nargs="?", const="", default=None, metavar="DIR",
+        dest="stream_dir",
+        help="stream sharded results through a spill-to-disk directory; "
+        "with DIR, reusing it resumes an interrupted sweep (completed "
+        "shards are skipped, partial shard files resume after their valid "
+        "prefix); without DIR, results spill through a temporary directory",
     )
 
 
@@ -231,19 +241,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(scenarios)
 
+    population = sub.add_parser(
+        "population",
+        help="expand a demand scenario into a city of sessions and stream "
+        "it through the batch path",
+    )
+    population.add_argument(
+        "scenario", metavar="SCENARIO_JSON",
+        help="demand-scenario JSON file (schema: docs/demand_scenarios.md)",
+    )
+    population.add_argument("--seed", type=int, default=0)
+    population.add_argument(
+        "--policy", action="append", default=None, choices=list(POLICY_NAMES),
+        help="evaluate only this scheduling policy (repeatable; must be in "
+        "the scenario's policy list; default: every scenario policy)",
+    )
+    population.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="cap the expansion after this many arrivals — a capped city "
+        "is a strict prefix of the full one (CI smoke cells use this)",
+    )
+    population.add_argument(
+        "--report", default=None, metavar="REPORT_JSON",
+        help="write the full deterministic population report as JSON",
+    )
+    _add_engine_options(population)
+
     sub.add_parser("table1", help="reproduce Table 1")
     sub.add_parser("overheads", help="reproduce the Sec. 4.3 overheads")
     return parser
 
 
 def _engine_from(args: argparse.Namespace) -> BatchEngine:
+    stream_dir = getattr(args, "stream_dir", None)
     return BatchEngine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         engine=getattr(args, "engine", None),
         shards=getattr(args, "shards", None),
         shard_mode=getattr(args, "shard_mode", "process"),
-        stream_dir=getattr(args, "stream_dir", None),
+        stream_dir=stream_dir or None,
     )
 
 
@@ -502,39 +539,7 @@ def _parse_fleet(path: str) -> RenderFleet:
         raise ConfigurationError(f"cannot read fleet file {path!r}: {error}") from None
     except json.JSONDecodeError as error:
         raise ConfigurationError(f"invalid JSON in {path!r}: {error}") from None
-    if not isinstance(payload, dict) or not isinstance(payload.get("servers"), dict):
-        raise ConfigurationError(
-            f'{path!r} must hold a JSON object with a "servers" mapping'
-        )
-    known = {
-        "servers", "placement", "migration", "migration_penalty_ms",
-        "initial", "overflow",
-    }
-    unknown = sorted(set(payload) - known)
-    if unknown:
-        raise ConfigurationError(
-            f"unknown fleet keys {unknown} in {path!r}; known: {sorted(known)}"
-        )
-    capacities: dict[str, float] = {}
-    for name, value in payload["servers"].items():
-        if isinstance(value, dict):
-            value = value.get("capacity")
-        try:
-            capacities[str(name)] = float(value)
-        except (TypeError, ValueError):
-            raise ConfigurationError(
-                f"bad capacity {value!r} for fleet server {name!r} in {path!r}"
-            ) from None
-    kwargs = {
-        key: payload[key]
-        for key in ("placement", "migration", "overflow")
-        if key in payload
-    }
-    if "migration_penalty_ms" in payload:
-        kwargs["migration_penalty_ms"] = float(payload["migration_penalty_ms"])
-    if "initial" in payload:
-        kwargs["initial"] = tuple(str(n) for n in payload["initial"])
-    return RenderFleet.from_capacities(capacities, **kwargs)
+    return fleet_from_payload(payload, source=repr(path))
 
 
 def _event_index(entry: dict, key: str, path: str) -> int:
@@ -792,6 +797,83 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_population(args: argparse.Namespace) -> None:
+    scenario = DemandScenario.from_json(args.scenario)
+    engine = _engine_from(args)
+
+    def progress(policy: str, done: int, total: int) -> None:
+        if done % 1000 == 0 or done == total:
+            print(f"  {policy}: {done}/{total} client-sessions", file=sys.stderr)
+
+    start = time.perf_counter()
+    report = run_population(
+        scenario,
+        seed=args.seed,
+        engine=engine,
+        policies=tuple(args.policy) if args.policy else None,
+        max_sessions=args.max_sessions,
+        progress=progress,
+    )
+    wall = time.perf_counter() - start
+    rows = []
+    for policy, r in report["policies"].items():
+        slo = r["slo"]
+        attainment = (
+            "-"
+            if slo["measured"] == 0
+            else f"{100.0 * slo['met'] / slo['measured']:.1f}%"
+        )
+        rows.append(
+            [
+                policy,
+                r["clients"],
+                r["client_sessions"],
+                r["executed"],
+                f"{r['latency_ms']['p99']:.2f}",
+                f"{r['fps']['mean']:.1f}",
+                f"{r['client_p99_fps']['p50']:.1f}",
+                f"{slo['met']}/{slo['measured']}",
+                attainment,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "policy", "clients", "client-sessions", "executed",
+                "p99 latency (ms)", "mean FPS", "median client p99",
+                "SLO met", "attainment",
+            ],
+            rows,
+            title=(
+                f"repro population — {report['scenario']}: "
+                f"{report['sessions']} sessions, {report['clients']} clients, "
+                f"seed {report['seed']}, system {report['system']}, "
+                f"p99-FPS floor {report['slo_p99_fps_floor']:g}"
+            ),
+        )
+    )
+    if args.report is not None:
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    stats = engine.stats
+    print(
+        f"specs: {stats.requested} requested, {stats.unique} unique, "
+        f"{stats.executed} executed, {stats.cache_hits} cache hits; "
+        f"total {wall:.2f}s",
+        file=sys.stderr,
+    )
+    shard_stats = engine.last_shard_stats
+    if shard_stats is not None:
+        print(
+            f"shards: {shard_stats.shards} planned ({shard_stats.specs} specs), "
+            f"{shard_stats.steals} steals, {shard_stats.requeues} requeues, "
+            f"{shard_stats.workers} workers ({args.shard_mode})",
+            file=sys.stderr,
+        )
+
+
 def _cmd_table1(args: argparse.Namespace) -> None:
     rows = table1_static_characterization()
     print(
@@ -825,6 +907,7 @@ _COMMANDS = {
     "fig15": _cmd_fig15,
     "batch": _cmd_batch,
     "scenarios": _cmd_scenarios,
+    "population": _cmd_population,
     "table1": _cmd_table1,
     "overheads": _cmd_overheads,
 }

@@ -82,6 +82,7 @@ __all__ = [
     "FLEET_OVERFLOW_MODES",
     "STALL_SHARE",
     "RenderFleet",
+    "fleet_from_payload",
     "plan_fleet_timeline",
 ]
 
@@ -162,6 +163,7 @@ class FirstFitPlacement(PlacementPolicy):
     name = "first-fit"
 
     def place(self, candidates, loads, capacities, last_server):
+        """Return the first candidate in fleet declaration order."""
         return candidates[0]
 
 
@@ -172,6 +174,7 @@ class LeastLoadedPlacement(PlacementPolicy):
     name = "least-loaded"
 
     def place(self, candidates, loads, capacities, last_server):
+        """Return the candidate with the lowest load/capacity ratio."""
         best = min(
             range(len(candidates)),
             key=lambda i: (loads[candidates[i]] / capacities[candidates[i]], i),
@@ -186,6 +189,7 @@ class StickyPlacement(PlacementPolicy):
     name = "sticky"
 
     def place(self, candidates, loads, capacities, last_server):
+        """Return ``last_server`` when eligible, else least-loaded."""
         if last_server is not None and last_server in candidates:
             return last_server
         return LeastLoadedPlacement().place(
@@ -450,12 +454,65 @@ class _FleetClientState(_ClientState):
         return (1, self.queue_since, self.joined_ms, self.index)
 
     def freeze(self, **kwargs):
+        """Freeze the client row, stamping its placement history."""
         row = super().freeze(**kwargs)
         return replace(
             row,
             servers=tuple(self.placement_history),
             migrations=self.migrations,
         )
+
+
+def fleet_from_payload(payload: object, source: str = "fleet") -> RenderFleet:
+    """Build a :class:`RenderFleet` from a decoded JSON description.
+
+    The one fleet schema shared by ``repro scenarios --fleet`` files and
+    the ``"fleet"`` section of demand scenarios (:mod:`repro.sim.demand`)::
+
+        {"servers": {"a": 2.0, "b": {"capacity": 1.0}},
+         "placement": "least-loaded",      # optional
+         "migration": "migrate",           # optional: migrate | requeue
+         "migration_penalty_ms": 120.0,    # optional
+         "initial": ["a"],                 # optional: names up at t = 0
+         "overflow": "queue"}              # optional: queue | reject
+
+    Server values are a bare capacity (client-equivalents) or an object
+    with a ``"capacity"`` key.  ``source`` names the payload's origin in
+    error messages.
+    """
+    if not isinstance(payload, dict) or not isinstance(payload.get("servers"), dict):
+        raise ConfigurationError(
+            f'{source} must be a JSON object with a "servers" mapping'
+        )
+    known = {
+        "servers", "placement", "migration", "migration_penalty_ms",
+        "initial", "overflow",
+    }
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fleet keys {unknown} in {source}; known: {sorted(known)}"
+        )
+    capacities: dict[str, float] = {}
+    for name, value in payload["servers"].items():
+        if isinstance(value, dict):
+            value = value.get("capacity")
+        try:
+            capacities[str(name)] = float(value)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"bad capacity {value!r} for fleet server {name!r} in {source}"
+            ) from None
+    kwargs = {
+        key: payload[key]
+        for key in ("placement", "migration", "overflow")
+        if key in payload
+    }
+    if "migration_penalty_ms" in payload:
+        kwargs["migration_penalty_ms"] = float(payload["migration_penalty_ms"])
+    if "initial" in payload:
+        kwargs["initial"] = tuple(str(n) for n in payload["initial"])
+    return RenderFleet.from_capacities(capacities, **kwargs)
 
 
 #: Window-local share schedule of a fully stalled epoch.

@@ -549,6 +549,7 @@ class _RemoteChain:
         decode_ms: float,
         chunks: int,
     ) -> tuple[float, float]:
+        """Advance the chain one frame; return (net, decode) finish times."""
         up_fin = issue_fin + up_ms
         rr_fin = max(up_fin, self.rgpu) + render_ms
         self.rgpu = rr_fin
@@ -591,16 +592,19 @@ class _Env:
         self.chunks = self.platform.stream_chunks
 
     def server_share(self) -> float:
+        """GPU share granted by the server schedule at the current time."""
         if self.server_schedule is None:
             return 1.0
         return self.server_schedule.share_at(self.channel.now_ms)
 
     def remote_render_ms(self, workload) -> float:
+        """Remote render time scaled by the current server share."""
         return self.remote.render_time_ms(workload) / self.server_share()
 
     def serial_remote_ms(
         self, render_ms: float, encode_ms: float, transmit_ms: float, decode_ms: float
     ) -> float:
+        """Serial (non-overlapped) latency of the full remote path."""
         return self.channel.uplink_time_ms(POSE_UPLOAD_BYTES) + pipelined_latency_ms(
             [render_ms, encode_ms, transmit_ms, decode_ms], self.chunks
         )
@@ -761,6 +765,7 @@ def _run_static(env: _Env, workloads) -> dict:
     chain_fetch = chain.fetch
 
     def fetch(wl, ls_fin) -> tuple[float, float]:
+        """Split-render fetch: remote background layer for this frame."""
         bg_fraction = 1.0 - wl.interactive_fraction
         bg_wl = wl.full.scaled(
             fragment_scale=bg_fraction,

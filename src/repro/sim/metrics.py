@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "DEFAULT_WARMUP",
+    "ExactMoments",
     "FrameRecord",
     "QuantileSketch",
     "RunningMoments",
@@ -120,6 +121,11 @@ class RunningMoments:
 
     def merge(self, other: "RunningMoments") -> None:
         """Fold another partial aggregate into this one (in place)."""
+        if not isinstance(other, RunningMoments):
+            raise ConfigurationError(
+                "RunningMoments merges only with RunningMoments, got "
+                f"{type(other).__name__}"
+            )
         if other.count == 0:
             return
         if self.count == 0:
@@ -145,6 +151,134 @@ class RunningMoments:
         if self.count == 0:
             return float("nan")
         return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else float("nan")
+
+
+class ExactMoments:
+    """Order-independent mergeable moments: exact partial-sum accumulation.
+
+    A drop-in alternative to :class:`RunningMoments` whose mean and
+    standard deviation do not depend on the order observations (or
+    partial aggregates) were folded in: the running sum and sum of
+    squares are kept as exact floating-point expansions (Shewchuk's
+    grow-expansion, the algorithm behind ``math.fsum``), so the exact
+    accumulated value — and therefore its correctly rounded reading — is
+    invariant under any permutation of :meth:`add` / :meth:`merge`
+    calls.
+
+    This is the property population-scale consumers need: the sharded
+    executor yields results in nondeterministic completion order, and a
+    Welford fold of the same values in two different orders differs in
+    the last ULPs.  With exact sums, two runs that fold the same
+    multiset of values report bit-identical statistics however the
+    scheduler interleaved them.
+
+    NaN observations are skipped (as in :class:`RunningMoments`);
+    infinities are tallied separately (an exact expansion cannot carry
+    them) and saturate the statistics deterministically.
+    """
+
+    __slots__ = ("count", "_sum", "_sumsq", "min", "max", "_pos_inf", "_neg_inf")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._sum: list[float] = []
+        self._sumsq: list[float] = []
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._pos_inf = 0
+        self._neg_inf = 0
+
+    @staticmethod
+    def _grow(partials: list[float], x: float) -> None:
+        """Fold ``x`` into an exact nonoverlapping expansion, in place."""
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the aggregate."""
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.count += 1
+        if math.isinf(value):
+            if value > 0:
+                self._pos_inf += 1
+            else:
+                self._neg_inf += 1
+        else:
+            self._grow(self._sum, value)
+            self._grow(self._sumsq, value * value)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold an iterable of observations (consumed lazily)."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "ExactMoments") -> None:
+        """Fold another partial aggregate into this one (in place).
+
+        Exact: merging is equivalent to having added the other side's
+        observations directly, in any order.
+        """
+        if not isinstance(other, ExactMoments):
+            raise ConfigurationError(
+                "ExactMoments merges only with ExactMoments, got "
+                f"{type(other).__name__}"
+            )
+        self.count += other.count
+        for x in other._sum:
+            self._grow(self._sum, x)
+        for x in other._sumsq:
+            self._grow(self._sumsq, x)
+        self._pos_inf += other._pos_inf
+        self._neg_inf += other._neg_inf
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    @property
+    def mean(self) -> float:
+        """Correctly rounded mean of the observations seen so far."""
+        if self.count == 0:
+            return float("nan")
+        if self._pos_inf and self._neg_inf:
+            return float("nan")
+        if self._pos_inf:
+            return float("inf")
+        if self._neg_inf:
+            return float("-inf")
+        return math.fsum(self._sum) / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance, computed from the exact sums."""
+        if self.count == 0:
+            return float("nan")
+        if self._pos_inf or self._neg_inf:
+            return float("inf")
+        mean = math.fsum(self._sum) / self.count
+        variance = math.fsum(self._sumsq) / self.count - mean * mean
+        return max(variance, 0.0)
 
     @property
     def std(self) -> float:
@@ -269,12 +403,22 @@ class StreamSummary:
     :class:`QuantileSketch`, mergeable across shards.  This is what the
     population-scale paths fold per-spec metrics into instead of holding
     a full-sweep result list.
+
+    ``exact=True`` swaps the Welford moments for :class:`ExactMoments`,
+    making every reported statistic independent of fold/merge order —
+    the mode the population demand path uses so a sharded run's report
+    is bit-identical at any shard count and completion order (sketch
+    counters and extremes are order-independent either way; only the
+    Welford mean/std are not).  Summaries merge only with summaries of
+    the same mode.
     """
 
     __slots__ = ("moments", "sketch")
 
-    def __init__(self, sketch: QuantileSketch | None = None) -> None:
-        self.moments = RunningMoments()
+    def __init__(
+        self, sketch: QuantileSketch | None = None, exact: bool = False
+    ) -> None:
+        self.moments = ExactMoments() if exact else RunningMoments()
         self.sketch = sketch if sketch is not None else QuantileSketch()
 
     def add(self, value: float) -> None:
@@ -294,37 +438,46 @@ class StreamSummary:
 
     @property
     def count(self) -> int:
+        """Number of observations folded in."""
         return self.moments.count
 
     @property
     def mean(self) -> float:
+        """Mean of the observations (NaN when empty)."""
         return self.moments.mean if self.moments.count else float("nan")
 
     @property
     def std(self) -> float:
+        """Population standard deviation."""
         return self.moments.std
 
     @property
     def min(self) -> float:
+        """Smallest observation (NaN when empty)."""
         return self.moments.min if self.moments.count else float("nan")
 
     @property
     def max(self) -> float:
+        """Largest observation (NaN when empty)."""
         return self.moments.max if self.moments.count else float("nan")
 
     def quantile(self, q: float) -> float:
+        """Sketch quantile at ``q`` in [0, 1]."""
         return self.sketch.quantile(q)
 
     @property
     def p50(self) -> float:
+        """Median, to sketch resolution."""
         return self.quantile(0.50)
 
     @property
     def p90(self) -> float:
+        """90th percentile, to sketch resolution."""
         return self.quantile(0.90)
 
     @property
     def p99(self) -> float:
+        """99th percentile, to sketch resolution."""
         return self.quantile(0.99)
 
     def row(self) -> dict[str, float]:
@@ -449,6 +602,7 @@ class _ServerFold:
         self.migrations_in = 0
 
     def add(self, window: ServerWindow) -> None:
+        """Fold one server window into the running totals."""
         length = window.end_ms - window.start_ms
         self.up_ms += length
         utilisation = window.utilisation

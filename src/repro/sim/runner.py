@@ -769,14 +769,21 @@ class BatchEngine:
         Pairs are yielded as execution completes, so the order mixes
         cache hits (input order, first) with executed shards (completion
         order); consumers key by spec.
-        """
-        requested = list(specs)
-        unique = list(dict.fromkeys(requested))
-        self.stats.requested += len(requested)
-        self.stats.unique += len(unique)
 
+        ``specs`` may be any iterable, including a lazy generator — it
+        is consumed incrementally (duplicates are dropped as they
+        arrive, cache hits yielded as they are found), so a population
+        planner can emit specs session by session without ever
+        materializing the duplicate-bearing request list.
+        """
+        seen: set[RunSpec] = set()
         misses: list[RunSpec] = []
-        for spec in unique:
+        for spec in specs:
+            self.stats.requested += 1
+            if spec in seen:
+                continue
+            seen.add(spec)
+            self.stats.unique += 1
             cached = self._memo.get(spec)
             if cached is None and self.cache is not None:
                 cached = self.cache.get(spec)

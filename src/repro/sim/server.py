@@ -204,10 +204,12 @@ class FairSharePolicy(SchedulingPolicy):
     name = "fair-share"
 
     def weight_at(self, demand, conditions, t_ms):
+        """Equal weight for every client."""
         return 1.0
 
     @property
     def uniform(self) -> bool:
+        """Always True: fair share ignores client state."""
         return True
 
 
@@ -217,6 +219,7 @@ class WeightedPolicy(SchedulingPolicy):
     name = "weighted"
 
     def weight_at(self, demand, conditions, t_ms):
+        """Weight proportional to the client's current throughput."""
         return max(conditions.throughput_mbps, _MIN_WEIGHT)
 
 
@@ -240,6 +243,7 @@ class DeadlinePolicy(SchedulingPolicy):
     gamma: float = 1.0
 
     def weight_at(self, demand, conditions, t_ms):
+        """Weight grows with deadline pressure (frame time vs budget)."""
         pressure = demand.estimated_frame_ms(conditions) / constants.FRAME_BUDGET_MS
         return max(pressure, 1.0) ** self.gamma
 

@@ -358,6 +358,17 @@ class Session:
             1 for e in self.events if isinstance(e, Join)
         )
 
+    def with_policy(self, policy: str) -> "Session":
+        """This session under another scheduling policy.
+
+        Roster, events, platform, and fleet are shared (all frozen); only
+        the policy differs — the hook the population demand generator
+        uses to re-plan one sampled city under every candidate policy.
+        """
+        if policy == self.policy:
+            return self
+        return replace(self, policy=policy)
+
     # -- planning ----------------------------------------------------------------
 
     def timeline(
@@ -427,6 +438,7 @@ class Session:
         ]
 
         def base_spec(index: int, **overrides) -> RunSpec:
+            """Spec template for one client window of this plan."""
             client = self.clients[index]
             kwargs = dict(
                 system=client.system if client.system is not None else system,
@@ -679,16 +691,19 @@ class _ClientState:
         self.peak_roster = 0
 
     def present_at(self, t_ms: float) -> bool:
+        """True when the client is in the session at ``t_ms``."""
         return (
             self.joined_ms <= t_ms and self.left_ms is None and not self.rejected
         )
 
     def leave(self, t_ms: float) -> None:
+        """Mark the client gone at ``t_ms``, ending any open service."""
         self.left_ms = t_ms
         if self.service_start is not None and self.service_end is None:
             self.service_end = t_ms
 
     def switch(self, t_ms: float, profile: NetworkProfile) -> None:
+        """Record a network-profile switch taking effect at ``t_ms``."""
         self.profile_history.append((t_ms, profile))
 
     def profile(self) -> NetworkProfile:
@@ -737,9 +752,11 @@ class _ClientState:
 
     @property
     def switched(self) -> bool:
+        """True once the client has changed network profile."""
         return len(self.profile_history) > 1
 
     def record_service(self, t0: float, allocation, roster_size: int) -> None:
+        """Record one service interval from a solved allocation."""
         self.record_segments(
             t0, allocation.server.segments, allocation.downlink.segments,
             roster_size,

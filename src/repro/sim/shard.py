@@ -166,18 +166,23 @@ class ResultStream:
     # -- paths ---------------------------------------------------------------
 
     def results_path(self, index: int) -> Path:
+        """Completed-results file for shard ``index``."""
         return self.directory / f"shard-{index:04d}.results"
 
     def part_path(self, index: int) -> Path:
+        """In-progress partial file for shard ``index``."""
         return self.directory / f"shard-{index:04d}.part"
 
     def spec_path(self, index: int) -> Path:
+        """Pickled spec list for shard ``index``."""
         return self.directory / f"shard-{index:04d}.spec"
 
     def claim_path(self, index: int) -> Path:
+        """Work-stealing claim marker for shard ``index``."""
         return self.directory / f"shard-{index:04d}.claim"
 
     def owner_path(self, index: int) -> Path:
+        """Claim-owner record for shard ``index``."""
         return self.directory / f"shard-{index:04d}.owner"
 
     # -- manifest ------------------------------------------------------------
@@ -256,6 +261,7 @@ class ResultStream:
         )
 
     def is_complete(self, index: int) -> bool:
+        """True when shard ``index`` has a completed results file."""
         return self.results_path(index).exists()
 
     # -- reading ---------------------------------------------------------------
@@ -329,11 +335,13 @@ class _ShardWriter:
         self._written = self.start
 
     def append(self, spec: RunSpec, result: SimulationResult) -> None:
+        """Append one (spec, result) record and flush it to disk."""
         pickle.dump((spec, result), self._handle, protocol=pickle.HIGHEST_PROTOCOL)
         self._handle.flush()
         self._written += 1
 
     def close(self, completed: bool) -> None:
+        """Close the writer; on completion, publish the results file."""
         self._handle.close()
         if completed:
             if self._written != len(self.shard.specs):
@@ -576,6 +584,7 @@ class ShardedExecutor:
             self.stats.salvaged += _salvage_count(self.stream, shard)
 
         def next_shard(worker: int) -> tuple[Shard, bool] | None:
+            """Pop local work, or steal from the longest queue."""
             if queues[worker]:
                 return queues[worker].popleft(), False
             victim = max(range(workers), key=lambda w: (len(queues[w]), -w))
@@ -587,6 +596,7 @@ class ShardedExecutor:
             futures: dict[concurrent.futures.Future, int] = {}
 
             def dispatch(worker: int) -> None:
+                """Run one claimed shard, then requeue this worker."""
                 claimed = next_shard(worker)
                 if claimed is None:
                     return
@@ -796,9 +806,11 @@ def worker_main(argv: list[str] | None = None) -> int:
     last_beat = time.monotonic()
 
     def heartbeat_for(index: int) -> Callable[[], None]:
+        """Build the liveness heartbeat callback for shard ``index``."""
         claim = stream.claim_path(index)
 
         def beat() -> None:
+            """Touch the claim mtime to signal this worker is alive."""
             nonlocal last_beat
             now = time.monotonic()
             if now - last_beat >= args.heartbeat / 2:

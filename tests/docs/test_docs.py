@@ -1,0 +1,100 @@
+"""Keep the docs/ tree honest: working links, CLI reference in sync."""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = sorted((REPO / "docs").glob("*.md"))
+PAGES = DOCS + [REPO / "README.md"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FLAG = re.compile(r"(?<![\w-])--([a-z][a-z0-9-]*)")
+
+
+def test_docs_tree_exists():
+    names = {page.name for page in DOCS}
+    assert {"architecture.md", "cli.md", "demand_scenarios.md"} <= names
+
+
+@pytest.mark.parametrize("page", PAGES, ids=lambda p: p.name)
+def test_relative_links_resolve(page):
+    """Every relative markdown link points at a file that exists."""
+    broken = []
+    for target in _LINK.findall(page.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure in-page anchor
+            continue
+        resolved = (page.parent / path).resolve()
+        if not resolved.is_relative_to(REPO):
+            continue  # GitHub-side links (e.g. the CI badge) escape the repo
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"broken links in {page.name}: {broken}"
+
+
+def test_readme_links_the_docs_tree():
+    readme = (REPO / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/cli.md", "docs/demand_scenarios.md"):
+        assert name in readme, f"README does not link {name}"
+
+
+# ---------------------------------------------------------------------------
+# CLI reference consistency: docs/cli.md vs the real argparse tree
+# ---------------------------------------------------------------------------
+
+
+def _parser_flags():
+    """{command: set of long flags} from the real parser (minus --help)."""
+    flags = {}
+    for action in build_parser()._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        for name, sub in action.choices.items():
+            flags[name] = {
+                a.option_strings[-1].lstrip("-")
+                for a in sub._actions
+                if a.option_strings and "--help" not in a.option_strings
+            }
+    return flags
+
+
+def _documented_flags():
+    """{command: set of flags} parsed out of docs/cli.md sections."""
+    text = (REPO / "docs" / "cli.md").read_text()
+    shared_match = re.search(
+        r"^## Shared engine options\n(.*?)(?=^### )", text, re.M | re.S
+    )
+    assert shared_match, "docs/cli.md lost its Shared engine options section"
+    shared = set(_FLAG.findall(shared_match.group(1)))
+    documented = {}
+    sections = re.split(r"^### repro ", text, flags=re.M)[1:]
+    for section in sections:
+        name, _, body = section.partition("\n")
+        flags = set(_FLAG.findall(body))
+        if "shared engine options" in body.lower():
+            flags |= shared
+        documented[name.strip()] = flags
+    return documented
+
+
+def test_every_subcommand_is_documented():
+    assert set(_documented_flags()) == set(_parser_flags())
+
+
+@pytest.mark.parametrize("command", sorted(_parser_flags()))
+def test_cli_reference_matches_parser(command):
+    documented = _documented_flags()[command]
+    actual = _parser_flags()[command]
+    missing = actual - documented
+    stale = documented - actual
+    assert not missing, f"docs/cli.md omits {sorted(missing)} for {command!r}"
+    assert not stale, (
+        f"docs/cli.md documents {sorted(stale)} which {command!r} does not accept"
+    )

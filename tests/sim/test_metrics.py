@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim.metrics import (
+    ExactMoments,
     FrameRecord,
     QuantileSketch,
     RunningMoments,
@@ -229,6 +230,85 @@ class TestRunningMoments:
         moments = RunningMoments()
         assert math.isnan(moments.variance)
         assert math.isnan(moments.std)
+
+
+class TestExactMoments:
+    def test_matches_exact_statistics(self):
+        import numpy as np
+
+        values = np.random.default_rng(7).lognormal(2.0, 0.8, size=500)
+        moments = ExactMoments()
+        moments.extend(values)
+        assert moments.count == 500
+        assert moments.mean == pytest.approx(float(np.mean(values)))
+        assert moments.std == pytest.approx(float(np.std(values)))
+        assert moments.min == float(np.min(values))
+        assert moments.max == float(np.max(values))
+
+    def test_order_invariant_bit_identical(self):
+        import numpy as np
+
+        rng = np.random.default_rng(13)
+        values = list(rng.lognormal(2.0, 1.5, size=2000))
+        forward = ExactMoments()
+        forward.extend(values)
+        for permutation_seed in (1, 2, 3):
+            shuffled = list(values)
+            np.random.default_rng(permutation_seed).shuffle(shuffled)
+            other = ExactMoments()
+            other.extend(shuffled)
+            assert other.mean == forward.mean  # bit-identical, not approx
+            assert other.std == forward.std
+            assert other.variance == forward.variance
+
+    def test_merge_order_invariant_bit_identical(self):
+        import numpy as np
+
+        values = list(np.random.default_rng(17).normal(50.0, 9.0, size=999))
+        chunks = [values[i::7] for i in range(7)]
+        parts = []
+        for chunk in chunks:
+            m = ExactMoments()
+            m.extend(chunk)
+            parts.append(m)
+        merged_forward = ExactMoments()
+        for part in parts:
+            merged_forward.merge(part)
+        merged_reverse = ExactMoments()
+        for part in reversed(parts):
+            merged_reverse.merge(part)
+        assert merged_forward.mean == merged_reverse.mean
+        assert merged_forward.std == merged_reverse.std
+        assert merged_forward.count == merged_reverse.count == 999
+
+    def test_nan_skipped_and_inf_saturates(self):
+        moments = ExactMoments()
+        moments.extend([1.0, float("nan"), 3.0])
+        assert moments.count == 2
+        assert moments.mean == pytest.approx(2.0)
+        moments.add(float("inf"))
+        assert moments.mean == float("inf")
+        assert moments.variance == float("inf")
+
+    def test_empty_reports_nan(self):
+        moments = ExactMoments()
+        assert math.isnan(moments.mean)
+        assert math.isnan(moments.variance)
+        assert math.isnan(moments.std)
+
+    def test_mode_mixing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExactMoments().merge(RunningMoments())
+        with pytest.raises(ConfigurationError):
+            RunningMoments().merge(ExactMoments())
+
+    def test_exact_stream_summary_uses_exact_moments(self):
+        summary = StreamSummary(exact=True)
+        assert isinstance(summary.moments, ExactMoments)
+        summary.extend([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        with pytest.raises(ConfigurationError):
+            summary.merge(StreamSummary())
 
 
 class TestQuantileSketch:

@@ -340,3 +340,97 @@ class TestFleetCommand:
              "--motion-events", "4g", "--frames", "200", "--fleet", fleet]
         ) == 0
         assert "fleet summary" in capsys.readouterr().out
+
+
+class TestPopulationCommand:
+    def _scenario(self, tmp_path, **overrides):
+        import json
+
+        payload = {
+            "name": "cli-town",
+            "horizon_ms": 120_000,
+            "arrivals": {"process": "poisson", "rate_per_min": 3.0},
+            "party_sizes": {"1": 0.5, "2": 0.5},
+            "duration_frames": {"min": 8, "max": 10},
+            "clients": [{"app": "GRID"}],
+            "profiles": {"default": 3.0, "lte": 1.0},
+            "churn": {"late_join": 0.2, "leave": 0.2, "switch": 0.1},
+            "fleet": {"servers": {"east": 2, "west": 2}},
+            "policies": ["fair-share", "deadline"],
+            "slo": {"p99_fps_floor": 45.0},
+        }
+        payload.update(overrides)
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["population", "city.json"])
+        assert args.scenario == "city.json"
+        assert args.seed == 0
+        assert args.policy is None
+        assert args.max_sessions is None
+        assert args.stream_dir is None
+
+    def test_bare_stream_flag_parses_to_empty(self):
+        args = build_parser().parse_args(["population", "city.json", "--stream"])
+        assert args.stream_dir == ""
+        args = build_parser().parse_args(
+            ["population", "city.json", "--stream", "spill-dir"]
+        )
+        assert args.stream_dir == "spill-dir"
+
+    def test_population_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["population"])
+
+    def test_population_command_runs(self, capsys, tmp_path):
+        scenario = self._scenario(tmp_path)
+        assert main(["population", scenario, "--seed", "7"]) == 0
+        captured = capsys.readouterr()
+        assert "repro population — cli-town" in captured.out
+        assert "attainment" in captured.out
+        assert "fair-share" in captured.out and "deadline" in captured.out
+        assert "client-sessions" in captured.err  # progress goes to stderr
+
+    def test_population_stdout_is_deterministic(self, capsys, tmp_path):
+        scenario = self._scenario(tmp_path)
+        argv = ["population", scenario, "--seed", "7", "--max-sessions", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_population_report_json(self, capsys, tmp_path):
+        import json
+
+        scenario = self._scenario(tmp_path)
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["population", scenario, "--seed", "7", "--max-sessions", "3",
+             "--report", str(report_path), "--policy", "deadline"]
+        ) == 0
+        capsys.readouterr()
+        report = json.loads(report_path.read_text())
+        assert report["scenario"] == "cli-town"
+        assert list(report["policies"]) == ["deadline"]
+        assert report["sessions"] == 3
+
+    def test_population_rejects_bad_scenario(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(ConfigurationError):
+            main(["population", str(path)])
+
+    def test_examples_population_json_loads(self, monkeypatch):
+        from pathlib import Path
+
+        from repro.sim.demand import DemandScenario
+
+        # the shipped scenario references data/ traces by repo-relative path
+        monkeypatch.chdir(Path(__file__).resolve().parents[1])
+        scenario = DemandScenario.from_json("examples/population.json")
+        assert scenario.name == "city-day"
+        assert scenario.policies == ("fair-share", "deadline")
