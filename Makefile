@@ -1,0 +1,11 @@
+# Convenience targets mirroring the CI gates.
+
+.PHONY: lint test
+
+# Style (ruff) + determinism/hash-integrity (repro lint) in one gate.
+lint:
+	./scripts/lint.sh
+
+# The tier-1 suite, exactly as CI runs it.
+test:
+	PYTHONPATH=src python -m pytest -x -q

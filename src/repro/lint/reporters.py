@@ -1,0 +1,57 @@
+"""Text and JSON rendering of a :class:`~repro.lint.framework.LintResult`.
+
+The text form is for humans (one ``path:line:col: CODE message`` line
+per unsuppressed finding plus a summary); the JSON form is for CI — it
+carries *every* finding, including suppressed ones with their
+justifications, so a pipeline can audit what the tree has opted out of.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.framework import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report; suppressed findings shown only when verbose."""
+    lines = []
+    for finding in result.findings:
+        if finding.suppressed and not verbose:
+            continue
+        lines.append(str(finding))
+    summary = (
+        f"{len(result.unsuppressed)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.files} file(s) checked"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order, trailing newline)."""
+    payload = {
+        "version": 1,
+        "files": result.files,
+        "summary": {
+            "total": len(result.findings),
+            "unsuppressed": len(result.unsuppressed),
+            "suppressed": len(result.suppressed),
+        },
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "suppressed": finding.suppressed,
+                "justification": finding.justification,
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

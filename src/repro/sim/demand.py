@@ -308,12 +308,19 @@ def _normalized_shares(entries, what: str):
 
 
 def _pick(rng, entries):
-    """Draw one ``value`` from ``(value, share)`` pairs (inverse CDF)."""
+    """Draw one ``value`` from ``(value, share)`` pairs (inverse CDF).
+
+    The left-to-right sums below are deterministic (``entries`` is an
+    ordered tuple) and frozen: rerouting them through ``math.fsum`` /
+    ``ExactMoments`` would move the CDF thresholds by ulps and redraw
+    every published city.
+    """
+    # repro-lint: disable=DET005 -- deterministic tuple order; frozen sampling contract
     total = sum(share for _, share in entries)
     x = rng.random() * total
     acc = 0.0
     for value, share in entries:
-        acc += share
+        acc += share  # repro-lint: disable=DET005 -- inverse-CDF walk over an ordered tuple
         if x < acc:
             return value
     return entries[-1][0]
@@ -619,6 +626,7 @@ class DemandScenario:
         arrivals: list[float] = []
         t = 0.0
         while True:
+            # repro-lint: disable=DET005 -- the Lewis-Shedler recurrence IS this serial accumulation
             t += rng.exponential(1.0 / envelope)
             if t >= self.horizon_ms:
                 return arrivals
@@ -886,7 +894,9 @@ def run_population(
         "slo_p99_fps_floor": scenario.slo_p99_fps_floor,
         "sessions": len(planned),
         "clients": first.get("clients", 0),
+        # repro-lint: disable=DET005 -- integer session counts; sum is order-exact
         "client_sessions": sum(r["client_sessions"] for r in policy_reports.values()),
+        # repro-lint: disable=DET005 -- integer session counts; sum is order-exact
         "executed": sum(r["executed"] for r in policy_reports.values()),
         "policies": policy_reports,
     }

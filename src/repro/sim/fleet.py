@@ -684,8 +684,11 @@ def plan_fleet_timeline(
                 d for s, d in zip(roster, demands) if s.assigned is not None
             )
             hosts = {s.assigned for s in placed}
+            # min() rather than next(iter(...)): the set is a singleton on
+            # this branch, but pulling its element via iteration order is
+            # a determinism hazard the moment that invariant slips.
             session_alloc = fleet.server(
-                up_names[0] if len(hosts) > 1 else next(iter(hosts))
+                up_names[0] if len(hosts) > 1 else min(hosts)
             ).allocate(
                 placed_demands,
                 session.policy,

@@ -106,6 +106,7 @@ _RENDER_CACHE_ENTRIES_MAX = 200_000
 
 def _render_cache(config_key: tuple) -> dict:
     """Memo dict for one (mobile GPU, remote server) hardware config."""
+    # repro-lint: disable=MP001 -- per-process memo of pure functions of the key: a fork-inherited or rebuilt cache yields bit-identical values and never flows back to the parent
     cache = _RENDER_CACHES.get(config_key)
     if cache is None:
         cache = {}
@@ -120,6 +121,7 @@ def _render_cache(config_key: tuple) -> dict:
 def _workloads(app: VRApp, seed: int, n_frames: int):
     """Memoized workload stream — deterministic in (app, seed, n_frames)."""
     key = (app, seed, n_frames)
+    # repro-lint: disable=MP001 -- per-process memo of pure functions of the key: fork-inherited and rebuilt entries are bit-identical
     stream = _WORKLOAD_CACHE.get(key)
     if stream is None:
         stream = WorkloadGenerator(app, seed=seed).generate(n_frames)
@@ -134,6 +136,7 @@ def _workloads(app: VRApp, seed: int, n_frames: int):
 def _foveation_kernel(app: VRApp, seed: int, n_frames: int) -> "_FoveationKernel":
     """Memoized geometry kernel — the gaze trace depends only on resolution."""
     key = (app.width_px, app.height_px, seed, n_frames)
+    # repro-lint: disable=MP001 -- per-process memo of pure functions of the key: fork-inherited and rebuilt entries are bit-identical
     kern = _GEOMETRY_CACHE.get(key)
     if kern is None:
         kern = _FoveationKernel(app.width_px, app.height_px, seed, n_frames)
@@ -198,6 +201,7 @@ class _FoveationKernel:
         # fails (or is off-lattice, e.g. SW-QVR's float states) falls back
         # to a direct evaluation that is still bit-identical.
         e_max = self.corner
+        # repro-lint: disable=DET004 -- load-bearing: the master lattice must come from arange's incremental accumulation (PR 7); start+k*step drifts the argmin tie-breaks
         master = np.arange(constants.MIN_ECCENTRICITY_DEG, e_max + _STEP_DEG, _STEP_DEG)
         master = np.minimum(master, e_max)
         self.master = master
@@ -210,6 +214,7 @@ class _FoveationKernel:
             v = float(master[k])
             if v >= e_max:
                 break
+            # repro-lint: disable=DET004 -- load-bearing: candidate lattices replicate the oracle's arange bits exactly; offsets register only after element-for-element equality below
             cand = np.minimum(np.arange(v, e_max + _STEP_DEG, _STEP_DEG), e_max)
             if len(cand) == len(master) - k and np.array_equal(cand, master[k:]):
                 self.lattice_offsets[v] = k
@@ -240,7 +245,7 @@ class _FoveationKernel:
         self._ws_sout = np.empty(m)
         self._ws_mid = np.empty(m)
         self._ws_cost = np.empty(m)
-        self._idx1d = np.arange(_SAMPLES_1D, dtype=float)
+        self._idx1d = np.arange(_SAMPLES_1D, dtype=float)  # repro-lint: disable=DET004 -- integer lattice 0..N-1: exact in float64, no accumulation hazard
         self._ys1d = np.empty(_SAMPLES_1D)
         self._a1d = np.empty(_SAMPLES_1D)
         self._b1d = np.empty(_SAMPLES_1D)
@@ -393,6 +398,7 @@ class _FoveationKernel:
             e *= d
             e *= 0.5
             sums = np.add.reduce(e, axis=1)
+            # repro-lint: disable=DET004 -- pure lane select between already-computed arrays (no arithmetic): bit-exact, unlike the clamp-shaped np.clip/np.where PR 6 removed
             sums = np.where(y_hi > y_lo, sums, 0.0)
             setdefault = areas.setdefault
             for f, area in enumerate(sums.tolist(), start):
@@ -462,6 +468,7 @@ class _FoveationKernel:
         IEEE adds, which is bitwise neutral.
         """
         e_max = self.corner
+        # repro-lint: disable=DET004 -- load-bearing: this lattice MUST come from arange (incremental += step accumulation); e1 + k*step drifts bitwise and the oracle's argmin can tie against that drift (PR 7)
         cand = np.arange(e1, e_max + _STEP_DEG, _STEP_DEG)
         np.minimum(cand, e_max, out=cand)
         n = len(cand)
@@ -1105,6 +1112,7 @@ def run_vectorized(
     elif key == "static":
         cols = _run_static(env, workloads)
     else:
+        # repro-lint: disable=MP001 -- read-only registry constant: populated once at import, never mutated
         controller_cls, uses_uca = _FOVEATED_CONTROLLERS[key]
         cols = _run_foveated(
             env,

@@ -707,6 +707,7 @@ class ShardedExecutor:
 
     def _requeue_stale(self, remaining: dict[int, Shard], stale_after: float) -> None:
         """Release claims whose owner died or whose heartbeat went stale."""
+        # repro-lint: disable=DET002 -- liveness/staleness detection only; never enters results
         now = time.time()
         for index in list(remaining):
             claim = self.stream.claim_path(index)
@@ -803,6 +804,7 @@ def worker_main(argv: list[str] | None = None) -> int:
 
     stream = ResultStream(args.spool)
     delay_ms = float(os.environ.get(_DELAY_ENV, "0") or "0")
+    # repro-lint: disable=DET002 -- heartbeat pacing only; never enters results
     last_beat = time.monotonic()
 
     def heartbeat_for(index: int) -> Callable[[], None]:
@@ -812,6 +814,7 @@ def worker_main(argv: list[str] | None = None) -> int:
         def beat() -> None:
             """Touch the claim mtime to signal this worker is alive."""
             nonlocal last_beat
+            # repro-lint: disable=DET002 -- heartbeat pacing only; never enters results
             now = time.monotonic()
             if now - last_beat >= args.heartbeat / 2:
                 try:

@@ -18,7 +18,9 @@ _FLAG = re.compile(r"(?<![\w-])--([a-z][a-z0-9-]*)")
 
 def test_docs_tree_exists():
     names = {page.name for page in DOCS}
-    assert {"architecture.md", "cli.md", "demand_scenarios.md"} <= names
+    assert {
+        "architecture.md", "cli.md", "demand_scenarios.md", "determinism.md",
+    } <= names
 
 
 @pytest.mark.parametrize("page", PAGES, ids=lambda p: p.name)
@@ -41,8 +43,24 @@ def test_relative_links_resolve(page):
 
 def test_readme_links_the_docs_tree():
     readme = (REPO / "README.md").read_text()
-    for name in ("docs/architecture.md", "docs/cli.md", "docs/demand_scenarios.md"):
+    for name in (
+        "docs/architecture.md",
+        "docs/cli.md",
+        "docs/demand_scenarios.md",
+        "docs/determinism.md",
+    ):
         assert name in readme, f"README does not link {name}"
+
+
+def test_determinism_page_documents_every_lint_rule():
+    """docs/determinism.md must catalogue every registered rule code."""
+    from repro.lint import all_rule_codes
+
+    text = (REPO / "docs" / "determinism.md").read_text()
+    missing = [code for code in all_rule_codes() if code not in text]
+    assert not missing, f"docs/determinism.md omits lint rules {missing}"
+    # The framework-reserved codes are part of the suppression contract.
+    assert "LINT001" in text and "LINT002" in text
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,31 @@
+"""Shared fixtures for the ``repro lint`` test suite."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, all_rule_codes, lint_paths
+
+
+@pytest.fixture
+def run_rule(tmp_path):
+    """Lint a snippet with exactly one rule enabled.
+
+    Every other registered rule is disabled so fixtures exercise one
+    invariant at a time; ``options`` merges into the rule's TOML options
+    (``paths`` omitted means the rule applies everywhere under the tmp
+    root).  Returns the :class:`repro.lint.LintResult`.
+    """
+
+    def _run(code, rule, options=None, filename="mod.py"):
+        path = tmp_path / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+        rules = {c: {"enabled": False} for c in all_rule_codes()}
+        rules[rule] = {"enabled": True, **(options or {})}
+        config = LintConfig(root=tmp_path, rules=rules)
+        return lint_paths([path], config=config)
+
+    return _run

@@ -1,0 +1,61 @@
+"""End-to-end: the shipped tree lints clean through the real CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import lint_paths, render_json, render_text
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_repro_lint_src_exits_zero(capsys):
+    assert main(["lint", str(REPO / "src")]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_repro_lint_json_reports_clean_tree(capsys):
+    assert main(["lint", str(REPO / "src"), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["unsuppressed"] == 0
+    assert payload["summary"]["suppressed"] > 0
+    assert payload["files"] > 50
+
+
+def test_every_suppression_in_the_tree_is_justified():
+    result = lint_paths([REPO / "src"])
+    assert result.ok
+    unjustified = [f for f in result.suppressed if not f.justification]
+    assert unjustified == [], [str(f) for f in unjustified]
+
+
+def test_cli_exits_nonzero_on_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "DET002" in out and "bad.py" in out
+
+
+def test_cli_explicit_config_flag(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+    config = tmp_path / "custom.toml"
+    config.write_text("[lint.rules.DET002]\nenabled = false\n", encoding="utf-8")
+    assert main(["lint", str(bad), "--config", str(config)]) == 0
+    capsys.readouterr()
+
+
+def test_reporters_render_the_same_result(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+    result = lint_paths([bad])
+    text = render_text(result)
+    payload = json.loads(render_json(result))
+    assert "1 finding(s)" in text
+    assert payload["summary"]["total"] == 1
+    assert payload["findings"][0]["rule"] == "DET002"

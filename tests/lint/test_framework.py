@@ -1,0 +1,110 @@
+"""Framework-level behaviour: suppressions, reserved codes, config errors."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import LintConfig, all_rule_codes, lint_paths
+
+
+def test_all_rule_codes_cover_the_advertised_ruleset():
+    codes = set(all_rule_codes())
+    assert {
+        "DET001", "DET002", "DET003", "DET004", "DET005", "HASH001", "MP001",
+    } <= codes
+
+
+def test_unused_suppression_is_a_finding(run_rule):
+    result = run_rule(
+        """
+        x = 1  # repro-lint: disable=DET001 -- nothing here to suppress
+        """,
+        "DET001",
+    )
+    assert [f.rule for f in result.unsuppressed] == ["LINT001"]
+    assert "unused suppression" in result.unsuppressed[0].message
+
+
+def test_malformed_marker_is_a_finding(run_rule):
+    result = run_rule(
+        """
+        x = 1  # repro-lint: enable=DET001
+        """,
+        "DET001",
+    )
+    assert [f.rule for f in result.unsuppressed] == ["LINT001"]
+    assert "malformed" in result.unsuppressed[0].message
+
+
+def test_syntax_error_reports_parse_error_finding(run_rule):
+    result = run_rule(
+        """
+        def broken(:
+            pass
+        """,
+        "DET001",
+    )
+    assert [f.rule for f in result.unsuppressed] == ["LINT002"]
+
+
+def test_one_comment_can_disable_multiple_rules(tmp_path):
+    code = """
+        import random
+        import time
+
+        # repro-lint: disable=DET001,DET002 -- demo site exercising both rules
+        x = (random.random(), time.time())
+        """
+    path = tmp_path / "multi.py"
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    rules = {c: {"enabled": False} for c in all_rule_codes()}
+    rules["DET001"] = {"enabled": True}
+    rules["DET002"] = {"enabled": True}
+    result = lint_paths([path], config=LintConfig(root=tmp_path, rules=rules))
+    assert result.ok
+    assert sorted(f.rule for f in result.suppressed) == ["DET001", "DET002"]
+
+
+def test_trailing_suppression_does_not_cover_other_lines(run_rule):
+    result = run_rule(
+        """
+        import random
+
+        a = random.random()  # repro-lint: disable=DET001 -- first draw is sanctioned
+        b = random.random()
+        """,
+        "DET001",
+    )
+    assert [f.rule for f in result.unsuppressed] == ["DET001"]
+    assert [f.rule for f in result.suppressed] == ["DET001"]
+
+
+def test_unknown_rule_code_in_config_is_an_error(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    config = LintConfig(root=tmp_path, rules={"NOPE999": {}})
+    with pytest.raises(ConfigurationError, match="NOPE999"):
+        lint_paths([tmp_path / "mod.py"], config=config)
+
+
+def test_missing_target_is_an_error(tmp_path):
+    config = LintConfig(root=tmp_path)
+    with pytest.raises(ConfigurationError, match="does not exist"):
+        lint_paths([tmp_path / "ghost.py"], config=config)
+
+
+def test_findings_are_deterministically_ordered(run_rule):
+    result = run_rule(
+        """
+        import random
+        import time
+
+        b = time.time()
+        a = random.random()
+        """,
+        "DET002",
+    )
+    positions = [(f.line, f.col) for f in result.findings]
+    assert positions == sorted(positions)

@@ -1,0 +1,418 @@
+"""Fixture-snippet tests for the determinism rules (DET001–DET005, MP001).
+
+Every rule gets the same triple: a snippet it must flag, a clean snippet
+it must stay silent on, and a suppressed snippet where a justified
+``# repro-lint: disable=...`` comment silences the finding without
+hiding it from the suppressed list.
+"""
+
+from __future__ import annotations
+
+
+def _codes(result):
+    return [f.rule for f in result.unsuppressed]
+
+
+# ---------------------------------------------------------------------------
+# DET001 — unseeded / process-global RNG
+# ---------------------------------------------------------------------------
+
+
+def test_det001_flags_global_random_module(run_rule):
+    result = run_rule(
+        """
+        import random
+
+        def draw():
+            return random.random()
+        """,
+        "DET001",
+    )
+    assert _codes(result) == ["DET001"]
+    assert "process-global RNG" in result.unsuppressed[0].message
+
+
+def test_det001_flags_numpy_module_level_state(run_rule):
+    result = run_rule(
+        """
+        import numpy as np
+
+        np.random.seed(0)
+        x = np.random.rand(3)
+        """,
+        "DET001",
+    )
+    assert _codes(result) == ["DET001", "DET001"]
+
+
+def test_det001_flags_unseeded_default_rng(run_rule):
+    result = run_rule(
+        """
+        from numpy.random import default_rng
+
+        gen = default_rng()
+        """,
+        "DET001",
+    )
+    assert _codes(result) == ["DET001"]
+    assert "without a seed" in result.unsuppressed[0].message
+
+
+def test_det001_clean_on_seeded_generators(run_rule):
+    result = run_rule(
+        """
+        import random
+
+        import numpy as np
+
+        def make(seed):
+            return np.random.default_rng(seed), random.Random(seed)
+        """,
+        "DET001",
+    )
+    assert result.ok
+    assert result.findings == []
+
+
+def test_det001_suppression_silences_with_justification(run_rule):
+    result = run_rule(
+        """
+        import random
+
+        token = random.getrandbits(64)  # repro-lint: disable=DET001 -- one-off id, never enters results
+        """,
+        "DET001",
+    )
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["DET001"]
+    assert result.suppressed[0].justification == "one-off id, never enters results"
+
+
+# ---------------------------------------------------------------------------
+# DET002 — wall-clock reads
+# ---------------------------------------------------------------------------
+
+
+def test_det002_flags_time_module_clocks(run_rule):
+    result = run_rule(
+        """
+        import time
+
+        start = time.time()
+        tick = time.perf_counter()
+        """,
+        "DET002",
+    )
+    assert _codes(result) == ["DET002", "DET002"]
+
+
+def test_det002_flags_from_imports_and_datetime(run_rule):
+    result = run_rule(
+        """
+        from datetime import datetime
+        from time import perf_counter
+
+        def stamp():
+            return datetime.now(), perf_counter()
+        """,
+        "DET002",
+    )
+    assert _codes(result) == ["DET002", "DET002"]
+
+
+def test_det002_clean_on_non_clock_uses(run_rule):
+    result = run_rule(
+        """
+        import time
+
+        def pause():
+            time.sleep(0.01)
+        """,
+        "DET002",
+    )
+    assert result.ok and result.findings == []
+
+
+def test_det002_standalone_suppression_covers_next_line(run_rule):
+    result = run_rule(
+        """
+        import time
+
+        def elapsed():
+            # repro-lint: disable=DET002 -- reporting-only wall time
+            return time.perf_counter()
+        """,
+        "DET002",
+    )
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["DET002"]
+
+
+# ---------------------------------------------------------------------------
+# DET003 — set iteration feeding order-sensitive consumers
+# ---------------------------------------------------------------------------
+
+
+def test_det003_flags_for_loop_over_set(run_rule):
+    result = run_rule(
+        """
+        def spawn(jobs):
+            pending = set(jobs)
+            for job in pending:
+                print(job)
+        """,
+        "DET003",
+    )
+    assert _codes(result) == ["DET003"]
+    assert "hash order" in result.unsuppressed[0].message
+
+
+def test_det003_flags_join_and_list_of_set(run_rule):
+    result = run_rule(
+        """
+        names = {"b", "a"}
+        label = ",".join(names)
+        ordered = list(names)
+        """,
+        "DET003",
+    )
+    assert _codes(result) == ["DET003", "DET003"]
+
+
+def test_det003_clean_on_sorted_and_order_neutral_consumers(run_rule):
+    result = run_rule(
+        """
+        names = {"b", "a"}
+        label = ",".join(sorted(names))
+        count = len(names)
+        biggest = max(names)
+        doubled = {n * 2 for n in names}
+        has_short = any(len(n) == 1 for n in names)
+        """,
+        "DET003",
+    )
+    assert result.ok and result.findings == []
+
+
+def test_det003_suppression(run_rule):
+    result = run_rule(
+        """
+        hosts = {"a"}
+        # repro-lint: disable=DET003 -- singleton by construction on this branch
+        first = list(hosts)
+        """,
+        "DET003",
+    )
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["DET003"]
+
+
+# ---------------------------------------------------------------------------
+# DET004 — bitwise-hazard numpy ops in hot paths
+# ---------------------------------------------------------------------------
+
+
+def test_det004_flags_np_clip_in_hot_path(run_rule):
+    result = run_rule(
+        """
+        import numpy as np
+
+        def clamp(x):
+            return np.clip(x, 0.0, 1.0)
+        """,
+        "DET004",
+        options={"ops": ["clip", "where"]},
+    )
+    assert _codes(result) == ["DET004"]
+    assert "bit-parity hot path" in result.unsuppressed[0].message
+
+
+def test_det004_respects_configured_op_list(run_rule):
+    result = run_rule(
+        """
+        import numpy as np
+
+        grid = np.arange(10.0)
+        """,
+        "DET004",
+        options={"ops": ["clip", "where"]},
+    )
+    assert result.ok and result.findings == []
+
+
+def test_det004_scoped_to_configured_paths(run_rule):
+    result = run_rule(
+        """
+        import numpy as np
+
+        y = np.clip(1.5, 0.0, 1.0)
+        """,
+        "DET004",
+        options={"ops": ["clip"], "paths": ["hot/**"]},
+        filename="cold/mod.py",
+    )
+    assert result.ok and result.findings == []
+
+
+def test_det004_suppression_documents_load_bearing_site(run_rule):
+    result = run_rule(
+        """
+        import numpy as np
+
+        # repro-lint: disable=DET004 -- load-bearing: lattice must come from arange accumulation
+        grid = np.arange(0.0, 1.0, 0.1)
+        """,
+        "DET004",
+        options={"ops": ["clip", "where", "arange"]},
+    )
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["DET004"]
+    assert "load-bearing" in result.suppressed[0].justification
+
+
+# ---------------------------------------------------------------------------
+# DET005 — bare float accumulation in aggregator modules
+# ---------------------------------------------------------------------------
+
+
+def test_det005_flags_bare_sum_and_loop_accumulation(run_rule):
+    result = run_rule(
+        """
+        def total(values):
+            acc = 0.0
+            for v in values:
+                acc += v
+            return acc + sum(values)
+        """,
+        "DET005",
+    )
+    assert _codes(result) == ["DET005", "DET005"]
+
+
+def test_det005_clean_on_integer_counters(run_rule):
+    result = run_rule(
+        """
+        def count(chunks):
+            n = 0
+            seen = 0
+            for chunk in chunks:
+                n += len(chunk)
+                seen += 1
+            return n, seen
+        """,
+        "DET005",
+    )
+    assert result.ok and result.findings == []
+
+
+def test_det005_exempts_sanctioned_accumulator_classes(run_rule):
+    result = run_rule(
+        """
+        class ExactMoments:
+            def update(self, values):
+                for v in values:
+                    self.total += v
+                return sum(values)
+        """,
+        "DET005",
+        options={"exempt_classes": ["ExactMoments"]},
+    )
+    assert result.ok and result.findings == []
+
+
+def test_det005_suppression(run_rule):
+    result = run_rule(
+        """
+        def cdf(entries):
+            # repro-lint: disable=DET005 -- deterministic tuple order; frozen sampling contract
+            return sum(weight for _, weight in entries)
+        """,
+        "DET005",
+    )
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["DET005"]
+
+
+# ---------------------------------------------------------------------------
+# MP001 — fork-unsafety around worker entry points
+# ---------------------------------------------------------------------------
+
+
+def test_mp001_flags_mutable_default_argument(run_rule):
+    result = run_rule(
+        """
+        def enqueue(job, queue=[]):
+            queue.append(job)
+            return queue
+        """,
+        "MP001",
+    )
+    assert _codes(result) == ["MP001"]
+    assert "mutable default argument" in result.unsuppressed[0].message
+
+
+def test_mp001_flags_worker_reachable_mutable_global(run_rule):
+    result = run_rule(
+        """
+        _CACHE = {}
+
+        def helper(key):
+            return _CACHE.get(key)
+
+        def worker(key):
+            return helper(key)
+        """,
+        "MP001",
+        options={"worker_entry_points": ["worker"]},
+    )
+    assert _codes(result) == ["MP001"]
+    assert "_CACHE" in result.unsuppressed[0].message
+    assert "helper()" in result.unsuppressed[0].message
+
+
+def test_mp001_flags_global_statement_in_worker(run_rule):
+    result = run_rule(
+        """
+        _JOBS = []
+
+        def worker():
+            global _JOBS
+            _JOBS = []
+        """,
+        "MP001",
+        options={"worker_entry_points": ["worker"]},
+    )
+    assert _codes(result) == ["MP001"]
+
+
+def test_mp001_clean_when_state_is_not_worker_reachable(run_rule):
+    result = run_rule(
+        """
+        _CACHE = {}
+
+        def parent_only(key):
+            return _CACHE.get(key)
+
+        def worker(key, queue=None):
+            return key
+        """,
+        "MP001",
+        options={"worker_entry_points": ["worker"]},
+    )
+    assert result.ok and result.findings == []
+
+
+def test_mp001_suppression(run_rule):
+    result = run_rule(
+        """
+        _MEMO = {}
+
+        def worker(key):
+            # repro-lint: disable=MP001 -- pure memo: rebuilt entries are bit-identical
+            return _MEMO.setdefault(key, key * 2)
+        """,
+        "MP001",
+        options={"worker_entry_points": ["worker"]},
+    )
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["MP001"]
