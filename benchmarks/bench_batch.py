@@ -13,12 +13,24 @@ timing artifact:
 * ``shard_cold_s`` — the sharded work-stealing executor (``--shards``
   shards, process mode) with a cold cache and a spill-to-disk stream;
 * ``parallel_warm_s`` — the flat engine invoked again, so every spec is
-  answered by the cache.
+  answered by the cache;
+* ``serial_warm_s`` / ``obs_untraced_s`` / ``obs_traced_s`` — the
+  serial sweep re-timed min-of-reps with warm memo caches: before any
+  tracer exists, after configure/shutdown cycles (disabled again), and
+  with tracing active into a throwaway directory
+  (``docs/observability.md``).
 
 ``kernel_speedup`` is ``scalar_serial_s`` over ``serial_s`` — the
 per-spec win of the array-programmed kernels, measured in the same
 process on the same machine (the ratio the regression gate tracks).
 ``speedup`` is ``serial_s`` over the best batched time.
+``obs_disabled_overhead`` is ``obs_untraced_s`` over ``serial_warm_s``
+— a ratio of two identical warm code paths in the same run, so it sits
+at ~1.0 unless disabled instrumentation stops being free (a leaked
+tracer or registry surviving shutdown); the regression gate holds it
+under ``--max-obs-overhead``.  ``obs_trace_overhead`` (traced over
+untraced) is the recording cost of an *enabled* tracer, reported as
+information.
 
 Worker sizing is honest: ``--jobs`` defaults to the CPUs *available to
 this process* (the scheduler affinity mask, not the machine's nominal
@@ -44,6 +56,7 @@ import time
 from dataclasses import replace
 from pathlib import Path
 
+from repro.obs import trace as obs_trace
 from repro.sim.runner import BatchEngine, ENGINE_NAMES, Sweep, run
 from repro.workloads.apps import TABLE3_ORDER
 
@@ -106,6 +119,36 @@ def bench(
     serial = [run(spec) for spec in specs]
     serial_s = time.perf_counter() - start
 
+    # Observability legs.  serial_s above ran with cold module-level
+    # memo caches (workloads, foveation plans), so it cannot anchor a
+    # 2%-level comparison; serial_warm_s re-times the identical loop
+    # min-of-reps with those caches warm and *no tracer ever configured
+    # in this process* — the virgin disabled path.  The traced leg then
+    # records into a throwaway directory, and the untraced leg re-times
+    # the plain loop after each configure/shutdown cycle: the
+    # untraced/warm ratio gates that tracing leaves no residue behind
+    # (a leaked tracer or registry would show up as JSONL writes or
+    # live-instrument updates in a leg that must be free).
+    serial_warm_s = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        warm_serial = [run(spec) for spec in specs]
+        serial_warm_s = min(serial_warm_s, time.perf_counter() - start)
+
+    obs_untraced_s = obs_traced_s = float("inf")
+    for _ in range(reps):
+        with tempfile.TemporaryDirectory(prefix="qvr-bench-trace-") as trace_dir:
+            obs_trace.configure(trace_dir, process="bench")
+            try:
+                start = time.perf_counter()
+                traced = [run(spec) for spec in specs]
+                obs_traced_s = min(obs_traced_s, time.perf_counter() - start)
+            finally:
+                obs_trace.shutdown()
+        start = time.perf_counter()
+        untraced = [run(spec) for spec in specs]
+        obs_untraced_s = min(obs_untraced_s, time.perf_counter() - start)
+
     parallel_cold_s = parallel_warm_s = shard_cold_s = float("inf")
     for _ in range(reps):
         with tempfile.TemporaryDirectory(prefix="qvr-bench-cache-") as cache_dir:
@@ -140,7 +183,12 @@ def bench(
         and pickle.dumps(warm[spec]) == pickle.dumps(result)
         and pickle.dumps(sharded[spec]) == pickle.dumps(result)
         and pickle.dumps(oracle) == pickle.dumps(result)
-        for spec, result, oracle in zip(specs, serial, scalar)
+        and pickle.dumps(plain) == pickle.dumps(result)
+        and pickle.dumps(recorded) == pickle.dumps(result)
+        and pickle.dumps(rewarmed) == pickle.dumps(result)
+        for spec, result, oracle, plain, recorded, rewarmed in zip(
+            specs, serial, scalar, untraced, traced, warm_serial
+        )
     )
     best_batched_s = min(parallel_cold_s, parallel_warm_s, shard_cold_s)
     return {
@@ -160,6 +208,11 @@ def bench(
         "scalar_serial_s": round(scalar_serial_s, 3),
         "kernel_speedup": round(scalar_serial_s / serial_s, 2),
         "serial_s": round(serial_s, 3),
+        "serial_warm_s": round(serial_warm_s, 3),
+        "obs_untraced_s": round(obs_untraced_s, 3),
+        "obs_traced_s": round(obs_traced_s, 3),
+        "obs_disabled_overhead": round(obs_untraced_s / serial_warm_s, 4),
+        "obs_trace_overhead": round(obs_traced_s / obs_untraced_s, 2),
         "parallel_cold_s": round(parallel_cold_s, 3),
         "shard_cold_s": round(shard_cold_s, 3),
         "parallel_warm_s": round(parallel_warm_s, 3),

@@ -27,6 +27,14 @@ committed ``BENCH_batch.json`` baseline:
   it absorbs runner-hardware spread while still catching multi-x
   simulator slowdowns.  Re-baseline (re-run ``bench_batch.py`` and
   commit the JSON) whenever a PR legitimately moves it;
+* ``obs_disabled_overhead`` (the serial sweep re-timed after tracer
+  configure/shutdown cycles, over the warm serial reference timed
+  before any tracer existed — two identical warm code paths in the
+  same fresh run) must stay under ``1 + --max-obs-overhead`` (default
+  2%).  This is the "tracing is free when disabled" promise of
+  ``docs/observability.md``; the threshold is absolute because both
+  terms come from the same run.  Baselines written before the obs
+  plane existed are not gated on the baseline side;
 * the warm engine must answer **every** spec from the cache
   (``warm_cache_hits == n_specs``) and serial/batched results must stay
   bit-identical — both deterministic, timing-free functional checks.
@@ -65,6 +73,7 @@ def compare(
     max_serial_slowdown: float,
     max_kernel_regression: float = 0.25,
     max_shard_regression: float = 0.25,
+    max_obs_overhead: float = 0.02,
 ) -> tuple[list[list[str]], list[str]]:
     """Build the comparison table and the list of violated limits."""
     failures: list[str] = []
@@ -163,6 +172,33 @@ def compare(
                 ]
             )
 
+    # The observability plane's "free when disabled" promise, as a ratio
+    # of two identical code paths timed in the same fresh run (machine
+    # speed cancels, so the 2% threshold is absolute, not relative to
+    # the baseline — a cross-machine comparison could never resolve 2%).
+    # Baselines written before the obs plane existed lack the field;
+    # the fresh side must always report it.
+    if "obs_disabled_overhead" in fresh:
+        new_obs = float(fresh["obs_disabled_overhead"])
+        obs_ceiling = 1.0 + max_obs_overhead
+        obs_ok = new_obs <= obs_ceiling
+        rows.append(
+            [
+                "obs disabled overhead (untraced / warm serial)",
+                str(baseline.get("obs_disabled_overhead", "-")),
+                f"{new_obs:.4f}",
+                f"<= {obs_ceiling:.4f}",
+                "ok" if obs_ok else "REGRESSED",
+            ]
+        )
+        if not obs_ok:
+            failures.append(
+                f"disabled-mode observability overhead exceeds "
+                f"{max_obs_overhead:.0%}: obs_untraced_s / serial_s = "
+                f"{new_obs:.4f} (ceiling {obs_ceiling:.4f}) — tracing must "
+                "be free when disabled"
+            )
+
     base_serial = float(baseline["serial_s"])
     new_serial = float(fresh["serial_s"])
     serial_ceiling = base_serial * (1.0 + max_serial_slowdown)
@@ -214,6 +250,8 @@ def compare(
         ("shard_cold_s", "sharded cold", "s"),
         ("parallel_warm_s", "parallel warm (cache)", "s"),
         ("speedup_warm", "warm speedup", "x"),
+        ("obs_traced_s", "serial with tracing active", "s"),
+        ("obs_trace_overhead", "enabled-tracing cost (traced / untraced)", "x"),
         ("cpu_count", "cpu count", ""),
         ("available_cpus", "available cpus", ""),
         ("jobs", "jobs", ""),
@@ -485,6 +523,11 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 0.25 = 25%%)",
     )
     parser.add_argument(
+        "--max-obs-overhead", type=float, default=0.02,
+        help="tolerated disabled-mode observability overhead on the "
+        "serial sweep, as a same-run ratio (default: 0.02 = 2%%)",
+    )
+    parser.add_argument(
         "--population-baseline", default=None, metavar="PATH",
         help="committed BENCH_population.json baseline; with "
         "--population-fresh, the population gate joins the comparison",
@@ -517,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         args.max_serial_slowdown,
         args.max_kernel_regression,
         args.max_shard_regression,
+        args.max_obs_overhead,
     )
     if bool(args.population_baseline) != bool(args.population_fresh):
         parser.error(

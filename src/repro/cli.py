@@ -49,7 +49,6 @@ import argparse
 import inspect
 import json
 import sys
-import time
 
 from repro.analysis.experiments import (
     SIM_EXPERIMENTS,
@@ -64,6 +63,8 @@ from repro.analysis.report import format_table
 from repro.errors import ConfigurationError
 from repro.motion.traces import generate_trace
 from repro.network.conditions import by_name
+from repro.obs import clock as obs_clock
+from repro.obs import trace as obs_trace
 from repro.network.profile import PiecewiseProfile, as_profile, profile_by_name
 from repro.sim.demand import DemandScenario, run_population
 from repro.sim.fleet import (
@@ -136,6 +137,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "with DIR, reusing it resumes an interrupted sweep (completed "
         "shards are skipped, partial shard files resume after their valid "
         "prefix); without DIR, results spill through a temporary directory",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="DIR", dest="trace_dir",
+        help="record spans, instants, and metric snapshots to JSONL files "
+        "under DIR (one file per process); inspect with 'repro obs' — "
+        "results are bit-identical with tracing on or off",
     )
 
 
@@ -287,6 +294,29 @@ def build_parser() -> argparse.ArgumentParser:
         "from the first PATH)",
     )
 
+    obs = sub.add_parser(
+        "obs",
+        help="inspect a recorded trace directory (stage breakdown, "
+        "Perfetto export, HTML timeline)",
+    )
+    obs.add_argument(
+        "action", choices=["report"],
+        help="'report' prints the stage-level latency/utilization breakdown",
+    )
+    obs.add_argument(
+        "trace_dir", metavar="TRACE_DIR",
+        help="trace directory recorded by a traced run",
+    )
+    obs.add_argument(
+        "--html", default=None, metavar="OUT_HTML",
+        help="also write a standalone HTML timeline to OUT_HTML",
+    )
+    obs.add_argument(
+        "--chrome-trace", default=None, metavar="OUT_JSON",
+        help="also write Chrome trace-event JSON to OUT_JSON "
+        "(load in Perfetto or chrome://tracing)",
+    )
+
     sub.add_parser("table1", help="reproduce Table 1")
     sub.add_parser("overheads", help="reproduce the Sec. 4.3 overheads")
     return parser
@@ -392,7 +422,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
     rows = []
     # Wall-clock here times the *batch run* for the report table; results
     # come from the deterministic engine, never from these timers.
-    total_start = time.perf_counter()  # repro-lint: disable=DET002 -- reporting-only wall time
+    total_start = obs_clock.perf_s()
     for name in args.experiments:
         func = SIM_EXPERIMENTS[name]
         kwargs = {"n_frames": args.frames, "seed": args.seed, "engine": engine}
@@ -405,11 +435,10 @@ def _cmd_batch(args: argparse.Namespace) -> None:
             else:
                 rows.append([name, "skipped (no --profile support)", "-"])
                 continue
-        start = time.perf_counter()  # repro-lint: disable=DET002 -- reporting-only wall time
+        start = obs_clock.perf_s()
         result = func(**kwargs)
-        # repro-lint: disable=DET002 -- reporting-only wall time
-        rows.append([name, len(result), f"{time.perf_counter() - start:.2f}"])
-    total_s = time.perf_counter() - total_start  # repro-lint: disable=DET002 -- reporting-only wall time
+        rows.append([name, len(result), f"{obs_clock.perf_s() - start:.2f}"])
+    total_s = obs_clock.perf_s() - total_start
     print(
         format_table(
             ["experiment", "rows", "wall (s)"],
@@ -824,13 +853,21 @@ def _cmd_population(args: argparse.Namespace) -> None:
     scenario = DemandScenario.from_json(args.scenario)
     engine = _engine_from(args)
 
+    tracer = obs_trace.active()
+
     def progress(policy: str, done: int, total: int) -> None:
-        if done % 1000 == 0 or done == total:
-            print(f"  {policy}: {done}/{total} client-sessions", file=sys.stderr)
+        if done % 1000 != 0 and done != total:
+            return
+        message = f"{policy}: {done}/{total} client-sessions"
+        if tracer.enabled:
+            tracer.instant("population.progress", policy=policy, done=done,
+                           total=total, message=message)
+        else:
+            print(f"  {message}", file=sys.stderr)
 
     # Wall-clock times the CLI invocation for the stderr footer; the
     # population report itself is bit-deterministic in (scenario, seed).
-    start = time.perf_counter()  # repro-lint: disable=DET002 -- reporting-only wall time
+    start = obs_clock.perf_s()
     report = run_population(
         scenario,
         seed=args.seed,
@@ -839,7 +876,7 @@ def _cmd_population(args: argparse.Namespace) -> None:
         max_sessions=args.max_sessions,
         progress=progress,
     )
-    wall = time.perf_counter() - start  # repro-lint: disable=DET002 -- reporting-only wall time
+    wall = obs_clock.perf_s() - start
     rows = []
     for policy, r in report["policies"].items():
         slo = r["slo"]
@@ -899,6 +936,21 @@ def _cmd_population(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import report as obs_report
+
+    print(obs_report.render_report(args.trace_dir))
+    if args.chrome_trace is not None:
+        count = obs_report.export_chrome_trace(args.trace_dir, args.chrome_trace)
+        print(f"chrome trace ({count} events) written to {args.chrome_trace}",
+              file=sys.stderr)
+    if args.html is not None:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(obs_report.render_html(args.trace_dir))
+        print(f"HTML timeline written to {args.html}", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the static determinism analyzer; exit 1 on unsuppressed findings."""
     from repro.lint import lint_paths, render_json, render_text
@@ -945,6 +997,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "scenarios": _cmd_scenarios,
     "population": _cmd_population,
+    "obs": _cmd_obs,
     "lint": _cmd_lint,
     "table1": _cmd_table1,
     "overheads": _cmd_overheads,
@@ -954,5 +1007,12 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    code = _COMMANDS[args.command](args)
+    trace_dir = None if args.command == "obs" else getattr(args, "trace_dir", None)
+    if trace_dir is not None:
+        obs_trace.configure(trace_dir, process="parent")
+    try:
+        code = _COMMANDS[args.command](args)
+    finally:
+        if trace_dir is not None:
+            obs_trace.shutdown()
     return code if isinstance(code, int) else 0

@@ -35,6 +35,7 @@ findings).
 from __future__ import annotations
 
 import ast
+from fnmatch import fnmatch
 
 from repro.lint.framework import FileContext, SourceFile, SyntaxRule, register
 
@@ -198,13 +199,36 @@ _DATETIME_CLS_ATTRS = frozenset({"now", "utcnow", "today"})
 
 @register
 class WallClockRead(SyntaxRule):
-    """DET002: wall-clock reads in result-affecting paths."""
+    """DET002: wall-clock reads in result-affecting paths.
+
+    Two config options refine the scope without weakening it:
+
+    * ``sanctioned_paths`` — fnmatch patterns for the files that ARE the
+      sanctioned clock site (``repro.obs.clock``); reads there are not
+      findings, so the module needs no per-line suppressions.
+    * ``hint`` — appended to every finding message outside the
+      sanctioned paths, steering authors to the sanctioned site instead
+      of a fresh suppression.
+    """
 
     code = "DET002"
     description = (
         "wall-clock read: results must be a function of the spec alone; "
         "timing belongs in benchmarks/ or behind a justified suppression"
     )
+
+    def _report(self, ctx: FileContext, node: ast.AST, message: str) -> None:
+        """Report unless the file is a sanctioned clock site; add the hint."""
+        rel = ctx.src.rel
+        if any(
+            fnmatch(rel, pattern)
+            for pattern in self.options.get("sanctioned_paths", ())
+        ):
+            return
+        hint = self.options.get("hint")
+        if hint:
+            message = f"{message} ({hint})"
+        ctx.report(self.code, node, message)
 
     def visit_Attribute(self, node: ast.Attribute, ctx: FileContext) -> None:
         """Flag ``time.<clock>`` and ``datetime[.datetime].now``-style reads."""
@@ -214,14 +238,14 @@ class WallClockRead(SyntaxRule):
         if isinstance(node.value, ast.Name):
             base = node.value.id
             if base in imports.time and node.attr in _CLOCK_ATTRS:
-                ctx.report(
-                    self.code, node,
+                self._report(
+                    ctx, node,
                     f"time.{node.attr} reads the wall clock; simulated time "
                     "must advance from the spec, not the host",
                 )
             elif base in imports.datetime_cls and node.attr in _DATETIME_CLS_ATTRS:
-                ctx.report(
-                    self.code, node,
+                self._report(
+                    ctx, node,
                     f"datetime.{node.attr} reads the wall clock",
                 )
         elif (
@@ -231,8 +255,8 @@ class WallClockRead(SyntaxRule):
             and node.value.attr in ("datetime", "date")
             and node.attr in _DATETIME_CLS_ATTRS
         ):
-            ctx.report(
-                self.code, node,
+            self._report(
+                ctx, node,
                 f"datetime.{node.value.attr}.{node.attr} reads the wall clock",
             )
 
@@ -242,8 +266,8 @@ class WallClockRead(SyntaxRule):
             return
         imports = _imports(ctx)
         if node.id in imports.from_time and node.id in _CLOCK_ATTRS:
-            ctx.report(
-                self.code, node,
+            self._report(
+                ctx, node,
                 f"{node.id} (imported from time) reads the wall clock",
             )
 

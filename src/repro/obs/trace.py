@@ -1,0 +1,260 @@
+"""Process-local spans and instant events, free when disabled.
+
+The module holds one active :class:`Tracer` per process.  Disabled —
+the default — it is a shared null singleton whose ``span``/``instant``
+methods are empty and allocation-free, so instrumentation sites can
+call it unconditionally.  :func:`configure` activates tracing into a
+directory (one JSONL stream per process, see :mod:`repro.obs.sinks`)
+and switches :mod:`repro.obs.metrics` live as well; :func:`shutdown`
+flushes the metrics snapshot into the stream and restores the null
+singleton.
+
+Span and instant IDs are deterministic: a keyed event's ID is a hash of
+its name and key (spec keys and shard ordinals in practice), so the
+same logical work carries the same ID in every run, at any worker
+count, whichever process executed it.  Unkeyed events fall back to a
+per-process sequence so they stay unique.  Timestamps come from
+:mod:`repro.obs.clock` and never touch results — the bit-parity suite
+in ``tests/obs`` runs the population path with tracing on and off and
+asserts identical reports.
+
+Fork/exec safety: :func:`ensure` re-anchors a tracer whose PID no
+longer matches the process (a forked pool worker inherits the parent's
+active tracer) by opening a fresh per-PID stream, so two processes
+never interleave writes into one file.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import re
+from typing import Iterator
+
+from repro.obs import clock, metrics
+from repro.obs.sinks import JsonlSink
+
+__all__ = [
+    "Tracer",
+    "active",
+    "configure",
+    "deterministic_id",
+    "ensure",
+    "shutdown",
+]
+
+_SAFE_PROC = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def deterministic_id(name: str, key: object) -> str:
+    """A stable 64-bit hex ID for a (name, key) pair."""
+    material = f"{name}|{key!r}".encode()
+    return hashlib.sha256(material).hexdigest()[:16]
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager emitting span_begin/span_end around a block."""
+
+    __slots__ = ("_tracer", "_name", "_id")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._id = span_id
+
+    def __enter__(self) -> "_Span":
+        self._tracer._begin(self._name, self._id)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._end(self._name, self._id)
+        return False
+
+
+class Tracer:
+    """A live tracer bound to one process's JSONL stream."""
+
+    enabled = True
+
+    def __init__(self, directory: str, process: str) -> None:
+        self.directory = str(directory)
+        self.process = _SAFE_PROC.sub("-", process) or "proc"
+        self.pid = os.getpid()
+        self._seq = 0
+        self._stack: list[str] = []
+        self._pending: dict[str, dict] = {}
+        self._sink = JsonlSink(
+            os.path.join(self.directory, f"{self.process}.jsonl")
+        )
+        self._sink.emit(
+            {
+                "kind": "process",
+                "proc": self.process,
+                "pid": self.pid,
+                "wall_s": clock.wall_s(),
+                "mono_s": clock.monotonic_s(),
+            }
+        )
+
+    def _event_id(self, name: str, key: object) -> str:
+        if key is not None:
+            return deterministic_id(name, key)
+        self._seq += 1
+        return deterministic_id(name, (self.process, self._seq))
+
+    def span(self, name: str, key: object = None, **attrs: object) -> _Span:
+        """A context manager tracing one stage; nests via a stack."""
+        span_id = self._event_id(name, key)
+        if attrs:
+            self._pending[span_id] = attrs
+        return _Span(self, name, span_id)
+
+    def _begin(self, name: str, span_id: str) -> None:
+        record = {
+            "kind": "span_begin",
+            "id": span_id,
+            "name": name,
+            "mono_s": clock.monotonic_s(),
+        }
+        if self._stack:
+            record["parent"] = self._stack[-1]
+        attrs = self._pending.pop(span_id, None)
+        if attrs:
+            record["attrs"] = attrs
+        self._stack.append(span_id)
+        self._sink.emit(record)
+
+    def _end(self, name: str, span_id: str) -> None:
+        if self._stack and self._stack[-1] == span_id:
+            self._stack.pop()
+        self._sink.emit(
+            {
+                "kind": "span_end",
+                "id": span_id,
+                "name": name,
+                "mono_s": clock.monotonic_s(),
+            }
+        )
+
+    def instant(self, name: str, key: object = None, **attrs: object) -> None:
+        """Emit one point-in-time event."""
+        record = {
+            "kind": "instant",
+            "id": self._event_id(name, key),
+            "name": name,
+            "mono_s": clock.monotonic_s(),
+        }
+        if self._stack:
+            record["parent"] = self._stack[-1]
+        if attrs:
+            record["attrs"] = attrs
+        self._sink.emit(record)
+
+    def close(self) -> None:
+        """Flush the metrics snapshot into the stream and close it."""
+        self._sink.emit(
+            {
+                "kind": "metrics",
+                "proc": self.process,
+                "snapshot": metrics.registry().snapshot(),
+            }
+        )
+        self._sink.close()
+
+
+class _NullTracer:
+    """The disabled singleton: every method is a cheap no-op."""
+
+    enabled = False
+    directory = None
+    process = None
+    pid = None
+
+    def span(self, name: str, key: object = None, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, key: object = None, **attrs: object) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+_NULL_TRACER = _NullTracer()
+_active = _NULL_TRACER
+
+
+def active():
+    """The process-active tracer (the null singleton when disabled)."""
+    return _active
+
+
+def configure(trace_dir: str | os.PathLike, process: str = "parent"):
+    """Activate tracing for this process into ``trace_dir``."""
+    global _active
+    if _active.enabled and _active.pid == os.getpid():
+        # Re-configuration within one process flushes the old stream; a
+        # forked child must NOT close the tracer it inherited — that
+        # would write into (and close) the parent's file descriptor.
+        _active.close()
+    metrics.deactivate()
+    metrics.activate()
+    _active = Tracer(str(trace_dir), process)
+    return _active
+
+
+def ensure(trace_dir: str | os.PathLike | None, process: str | None = None):
+    """Idempotent, fork-safe activation (no-op when ``trace_dir`` is None).
+
+    Reuses the active tracer when it already belongs to this process;
+    re-anchors into a fresh per-PID stream after a fork.
+    """
+    if trace_dir is None:
+        return _active
+    if _active.enabled and _active.pid == os.getpid():
+        return _active
+    return configure(trace_dir, process or f"pid-{os.getpid()}")
+
+
+def shutdown() -> None:
+    """Flush and close the active tracer; instrumentation goes free again."""
+    global _active
+    if _active.enabled and _active.pid == os.getpid():
+        # Same fork guard as configure(): never flush a tracer this
+        # process merely inherited.
+        _active.close()
+    _active = _NULL_TRACER
+    metrics.deactivate()
+
+
+# Pool workers have no explicit teardown hook; flushing at interpreter
+# exit lands their metrics snapshot in the stream.  Idempotent and
+# PID-guarded, so the parent's explicit shutdown stays the normal path.
+atexit.register(shutdown)
+
+
+def spans(events: list[dict]) -> Iterator[tuple[dict, dict]]:
+    """Pair (begin, end) records from a merged event list, by process+ID."""
+    open_spans: dict[tuple[str, str], dict] = {}
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span_begin":
+            open_spans[(event.get("proc", ""), event["id"])] = event
+        elif kind == "span_end":
+            begin = open_spans.pop((event.get("proc", ""), event["id"]), None)
+            if begin is not None:
+                yield begin, event

@@ -62,6 +62,8 @@ import numpy as np
 from repro import constants
 from repro.errors import ConfigurationError
 from repro.network.profile import NetworkProfile, profile_by_name
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sim.fleet import RenderFleet, fleet_from_payload
 from repro.sim.metrics import StreamSummary
 from repro.sim.multiuser import ClientSpec
@@ -859,6 +861,7 @@ def run_population(
     planned = scenario.expand(seed, max_sessions=max_sessions)
     base_stream_dir = engine.stream_dir
     policy_reports: dict[str, dict] = {}
+    tracer = obs_trace.active()
     try:
         for policy in wanted:
             if base_stream_dir is not None:
@@ -878,10 +881,19 @@ def run_population(
                     acc.observe_plan(timeline)
                     yield from timeline.specs
 
-            for _, result in engine.stream_specs(spec_stream()):
-                acc.observe_result(result)
-                if progress is not None:
-                    progress(policy, acc.executed, acc.client_sessions)
+            slo_gauge = obs_metrics.gauge(f"population.slo.{policy}")
+            with tracer.span(
+                "population.policy",
+                key=("population.policy", scenario.name, seed, policy),
+                policy=policy,
+            ):
+                for _, result in engine.stream_specs(spec_stream()):
+                    acc.observe_result(result)
+                    obs_metrics.counter(f"population.executed.{policy}").inc()
+                    if acc.measured:
+                        slo_gauge.set(acc.attainment)
+                    if progress is not None:
+                        progress(policy, acc.executed, acc.client_sessions)
             policy_reports[policy] = acc.report()
     finally:
         engine.stream_dir = base_stream_dir

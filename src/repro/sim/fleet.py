@@ -51,6 +51,7 @@ from dataclasses import dataclass, replace
 from repro import constants
 from repro.errors import ConfigurationError
 from repro.network.profile import ShareSchedule
+from repro.obs import trace as obs_trace
 from repro.sim.metrics import ServerWindow
 from repro.sim.runner import CLIENT_SEED_STRIDE
 from repro.sim.server import AdmissionDecision, ClientDemand, RenderServer
@@ -410,6 +411,10 @@ class _FleetClientState(_ClientState):
         migrated = self.last_server is not None and self.last_server != server
         if migrated:
             self.migrations += 1
+            obs_trace.active().instant(
+                "fleet.migrate", client=self.index, t_ms=t_ms,
+                src=self.last_server, dst=server,
+            )
         if not self.placement_history or self.placement_history[-1][1] != server:
             self.placement_history.append((t_ms, server))
         self.assigned = server
@@ -422,6 +427,9 @@ class _FleetClientState(_ClientState):
         """Record a span with no server (rendering at the stall share)."""
         if not self.placement_history or self.placement_history[-1][1] is not None:
             self.placement_history.append((t_ms, None))
+            obs_trace.active().instant(
+                "fleet.park", client=self.index, t_ms=t_ms
+            )
 
     def displace(self, t_ms: float, drained: bool, requeue: bool) -> None:
         """The client's server went away; decide its queueing fate.
@@ -432,6 +440,10 @@ class _FleetClientState(_ClientState):
         displacement only.
         """
         self.assigned = None
+        obs_trace.active().instant(
+            "fleet.displace", client=self.index, t_ms=t_ms,
+            drained=drained, requeue=requeue,
+        )
         if not drained:
             self.penalty_pending = True
         if requeue and not drained:

@@ -58,6 +58,8 @@ from repro.gpu.remote_gpu import RemoteRenderer
 from repro.motion.dof import GazeDelta, PoseDelta
 from repro.motion.traces import generate_trace
 from repro.network.channel import NetworkChannel
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sim.metrics import (
     DEFAULT_WARMUP,
     SimulationResult,
@@ -109,11 +111,14 @@ def _render_cache(config_key: tuple) -> dict:
     # repro-lint: disable=MP001 -- per-process memo of pure functions of the key: a fork-inherited or rebuilt cache yields bit-identical values and never flows back to the parent
     cache = _RENDER_CACHES.get(config_key)
     if cache is None:
+        obs_metrics.counter("kernels.render_cache.miss").inc()
         cache = {}
         _RENDER_CACHES[config_key] = cache
         if len(_RENDER_CACHES) > _RENDER_CACHES_MAX:
             _RENDER_CACHES.popitem(last=False)
+            obs_metrics.counter("kernels.render_cache.evict").inc()
     else:
+        obs_metrics.counter("kernels.render_cache.hit").inc()
         _RENDER_CACHES.move_to_end(config_key)
     return cache
 
@@ -124,11 +129,14 @@ def _workloads(app: VRApp, seed: int, n_frames: int):
     # repro-lint: disable=MP001 -- per-process memo of pure functions of the key: fork-inherited and rebuilt entries are bit-identical
     stream = _WORKLOAD_CACHE.get(key)
     if stream is None:
+        obs_metrics.counter("kernels.workloads.miss").inc()
         stream = WorkloadGenerator(app, seed=seed).generate(n_frames)
         _WORKLOAD_CACHE[key] = stream
         if len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
             _WORKLOAD_CACHE.popitem(last=False)
+            obs_metrics.counter("kernels.workloads.evict").inc()
     else:
+        obs_metrics.counter("kernels.workloads.hit").inc()
         _WORKLOAD_CACHE.move_to_end(key)
     return stream
 
@@ -139,11 +147,14 @@ def _foveation_kernel(app: VRApp, seed: int, n_frames: int) -> "_FoveationKernel
     # repro-lint: disable=MP001 -- per-process memo of pure functions of the key: fork-inherited and rebuilt entries are bit-identical
     kern = _GEOMETRY_CACHE.get(key)
     if kern is None:
+        obs_metrics.counter("kernels.fov.miss").inc()
         kern = _FoveationKernel(app.width_px, app.height_px, seed, n_frames)
         _GEOMETRY_CACHE[key] = kern
         if len(_GEOMETRY_CACHE) > _GEOMETRY_CACHE_MAX:
             _GEOMETRY_CACHE.popitem(last=False)
+            obs_metrics.counter("kernels.fov.evict").inc()
     else:
+        obs_metrics.counter("kernels.fov.hit").inc()
         _GEOMETRY_CACHE.move_to_end(key)
     return kern
 
@@ -1103,28 +1114,54 @@ def run_vectorized(
     key = system.lower()
     if key not in SYSTEM_NAMES:
         raise ConfigurationError(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
-    env = _Env(app, platform, seed)
-    workloads = _workloads(app, seed, n_frames)
-    if key == "local":
-        cols = _run_local(env, workloads)
-    elif key == "remote":
-        cols = _run_remote(env, workloads)
-    elif key == "static":
-        cols = _run_static(env, workloads)
-    else:
-        # repro-lint: disable=MP001 -- read-only registry constant: populated once at import, never mutated
-        controller_cls, uses_uca = _FOVEATED_CONTROLLERS[key]
-        cols = _run_foveated(
-            env,
-            workloads,
-            controller_cls(),
-            uses_uca,
-            _foveation_kernel(app, seed, n_frames),
+    tracer = obs_trace.active()
+    with tracer.span(
+        "kernels.run",
+        key=("kernels.run", key, app.name, seed, n_frames) if tracer.enabled else None,
+        system=key, app=app.name,
+    ):
+        env = _Env(app, platform, seed)
+        with tracer.span("kernels.workloads"):
+            workloads = _workloads(app, seed, n_frames)
+        if key == "local":
+            with tracer.span("kernels.frame_pass", system=key):
+                cols = _run_local(env, workloads)
+        elif key == "remote":
+            with tracer.span("kernels.frame_pass", system=key):
+                cols = _run_remote(env, workloads)
+        elif key == "static":
+            with tracer.span("kernels.frame_pass", system=key):
+                cols = _run_static(env, workloads)
+        else:
+            # repro-lint: disable=MP001 -- read-only registry constant: populated once at import, never mutated
+            controller_cls, uses_uca = _FOVEATED_CONTROLLERS[key]
+            kern = _foveation_kernel(app, seed, n_frames)
+            # LRU hit rates for the kernel's lazy per-frame caches are
+            # sampled as size deltas around the pass — the per-frame
+            # accessors stay untouched, so the disabled path costs
+            # nothing and the traced path adds no per-frame work.
+            if tracer.enabled:
+                plans_before = len(kern._plans)
+                sweeps_before = len(kern._sweeps)
+                areas_before = len(kern._areas)
+            with tracer.span("kernels.frame_pass", system=key):
+                cols = _run_foveated(env, workloads, controller_cls(), uses_uca, kern)
+            if tracer.enabled:
+                obs_metrics.counter("kernels.fov.plan.calls").inc(n_frames)
+                obs_metrics.counter("kernels.fov.plan.new").inc(
+                    len(kern._plans) - plans_before
+                )
+                obs_metrics.counter("kernels.fov.sweep.new").inc(
+                    len(kern._sweeps) - sweeps_before
+                )
+                obs_metrics.counter("kernels.fov.area.new").inc(
+                    len(kern._areas) - areas_before
+                )
+        with tracer.span("kernels.records"):
+            records = records_from_arrays(**cols)
+        return SimulationResult(
+            system=key,
+            app=app.name,
+            records=records,
+            warmup_frames=effective_warmup(n_frames, warmup_frames),
         )
-    records = records_from_arrays(**cols)
-    return SimulationResult(
-        system=key,
-        app=app.name,
-        records=records,
-        warmup_frames=effective_warmup(n_frames, warmup_frames),
-    )

@@ -44,6 +44,8 @@ from typing import Iterable, Iterator
 
 from repro._version import __version__
 from repro.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.network.conditions import NetworkConditions
 from repro.network.profile import (
     AllocatedProfile,
@@ -507,13 +509,17 @@ class ResultCache:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            obs_metrics.counter("runner.cache.miss").inc()
             return None
         if not isinstance(payload, dict) or payload.get("key") != spec_key(spec):
+            obs_metrics.counter("runner.cache.miss").inc()
             return None
+        obs_metrics.counter("runner.cache.hit").inc()
         return payload.get("result")
 
     def put(self, spec: RunSpec, result: SimulationResult) -> None:
         """Memoize one completed run."""
+        obs_metrics.counter("runner.cache.put").inc()
         payload = {"key": spec_key(spec), "result": result}
         fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
@@ -539,6 +545,7 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        obs_metrics.counter("runner.cache.evict").inc(removed)
         return removed
 
     def __len__(self) -> int:
@@ -660,26 +667,30 @@ class BatchEngine:
         self.stats.requested += len(requested)
         self.stats.unique += len(unique)
 
-        results: dict[RunSpec, SimulationResult] = {}
-        misses: list[RunSpec] = []
-        for spec in unique:
-            cached = self._memo.get(spec)
-            if cached is None and self.cache is not None:
-                cached = self.cache.get(spec)
-            if cached is not None:
-                results[spec] = cached
-                self._memo[spec] = cached
-                self.stats.cache_hits += 1
-            else:
-                misses.append(spec)
+        tracer = obs_trace.active()
+        with tracer.span(
+            "batch.run_specs", requested=len(requested), unique=len(unique)
+        ):
+            results: dict[RunSpec, SimulationResult] = {}
+            misses: list[RunSpec] = []
+            for spec in unique:
+                cached = self._memo.get(spec)
+                if cached is None and self.cache is not None:
+                    cached = self.cache.get(spec)
+                if cached is not None:
+                    results[spec] = cached
+                    self._memo[spec] = cached
+                    self.stats.cache_hits += 1
+                else:
+                    misses.append(spec)
 
-        for spec, result in self._execute(misses):
-            results[spec] = result
-            self._memo[spec] = result
-            if self.cache is not None:
-                self.cache.put(spec, result)
-            self.stats.executed += 1
-        return {spec: results[spec] for spec in unique}
+            for spec, result in self._execute(misses):
+                results[spec] = result
+                self._memo[spec] = result
+                if self.cache is not None:
+                    self.cache.put(spec, result)
+                self.stats.executed += 1
+            return {spec: results[spec] for spec in unique}
 
     def _execute(
         self, specs: list[RunSpec]

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro import constants
 from repro.errors import ConfigurationError
+from repro.obs import trace as obs_trace
 from repro.network.conditions import NetworkConditions
 from repro.network.profile import (
     AllocatedProfile,
@@ -399,19 +400,23 @@ class Session:
         instead — per-server placement, migration and parking on top of
         the same epoch walk.
         """
+        tracer = obs_trace.active()
         if self.fleet is not None:
             from repro.sim.fleet import plan_fleet_timeline
 
-            return plan_fleet_timeline(
-                self,
-                system=system,
-                n_frames=n_frames,
-                seed=seed,
-                warmup_frames=warmup_frames,
-            )
+            with tracer.span("session.plan", mode="fleet", clients=len(self.clients)):
+                return plan_fleet_timeline(
+                    self,
+                    system=system,
+                    n_frames=n_frames,
+                    seed=seed,
+                    warmup_frames=warmup_frames,
+                )
         if not self.events:
-            return self._static_timeline(system, n_frames, seed, warmup_frames)
-        return self._dynamic_timeline(system, n_frames, seed, warmup_frames)
+            with tracer.span("session.plan", mode="static", clients=len(self.clients)):
+                return self._static_timeline(system, n_frames, seed, warmup_frames)
+        with tracer.span("session.plan", mode="dynamic", clients=len(self.clients)):
+            return self._dynamic_timeline(system, n_frames, seed, warmup_frames)
 
     # -- the static (legacy, bit-identical) path ---------------------------------
 
@@ -564,6 +569,7 @@ class Session:
             events_at.setdefault(event.t_ms, []).append(event)
         boundaries = [0.0] + sorted(events_at)
 
+        tracer = obs_trace.active()
         epochs: list[Epoch] = []
         for k, t0 in enumerate(boundaries):
             t1 = boundaries[k + 1] if k + 1 < len(boundaries) else duration_ms
@@ -642,6 +648,10 @@ class Session:
                     decisions=decisions,
                     serviced=tuple(s.index for s in serviced),
                 )
+            )
+            tracer.instant(
+                "session.epoch", epoch=k, t0_ms=t0,
+                roster=len(roster), serviced=len(serviced),
             )
 
         client_rows = tuple(

@@ -50,6 +50,8 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import clock as obs_clock
+from repro.obs import trace as obs_trace
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import RunSpec, run, spec_key
 
@@ -363,23 +365,35 @@ def _execute_shard(
     engine: str | None,
     delay_ms: float = 0.0,
     heartbeat: Callable[[], None] | None = None,
+    trace_dir: str | None = None,
 ) -> tuple[int, int]:
     """Run one shard, streaming frames to disk; returns (index, executed).
 
     Skips work already on disk: a completed shard is a no-op, a partial
     ``.part`` file resumes after its salvaged prefix.  An engine override
     rewrites how each spec executes; the *requested* spec is what lands
-    in the frame, so stream contents are override-invariant.
+    in the frame, so stream contents are override-invariant.  With
+    ``trace_dir`` set, a fork-safe per-process tracer records one
+    execute span per spec (keyed by shard ordinal + spec key) and a
+    resume event for any salvaged prefix.
     """
+    tracer = obs_trace.ensure(trace_dir)
     stream = ResultStream(stream_dir)
     if stream.is_complete(shard.index):
         return shard.index, 0
     writer = _ShardWriter(stream, shard)
+    if writer.start and tracer.enabled:
+        tracer.instant(
+            "shard.resume", key=("resume", shard.index, writer.start),
+            shard=shard.index, salvaged=writer.start,
+        )
     executed = 0
     try:
         for spec in shard.specs[writer.start :]:
             job = spec if engine is None else replace(spec, engine=engine)
-            result = run(job)
+            key = (shard.index, spec_key(job)) if tracer.enabled else None
+            with tracer.span("shard.execute", key=key, shard=shard.index):
+                result = run(job)
             writer.append(spec, result)
             executed += 1
             if heartbeat is not None:
@@ -542,10 +556,17 @@ class ShardedExecutor:
         contract as the other modes); a salvaged prefix is replayed from
         disk before execution resumes after it.
         """
+        tracer = obs_trace.active()
         for shard in pending:
             writer = _ShardWriter(self.stream, shard)
             self.stats.salvaged += writer.start
             if writer.start:
+                if tracer.enabled:
+                    tracer.instant(
+                        "shard.resume",
+                        key=("resume", shard.index, writer.start),
+                        shard=shard.index, salvaged=writer.start,
+                    )
                 # The writer truncated the spill to exactly the salvaged
                 # prefix, so a plain scan replays just those frames.
                 yield from ResultStream._iter_frames(
@@ -554,7 +575,9 @@ class ShardedExecutor:
             try:
                 for spec in shard.specs[writer.start :]:
                     job = spec if self.engine is None else replace(spec, engine=self.engine)
-                    result = run(job)
+                    key = (shard.index, spec_key(job)) if tracer.enabled else None
+                    with tracer.span("shard.execute", key=key, shard=shard.index):
+                        result = run(job)
                     writer.append(spec, result)
                     self.stats.executed += 1
                     yield spec, result
@@ -592,6 +615,7 @@ class ShardedExecutor:
                 return queues[victim].pop(), True
             return None
 
+        tracer = obs_trace.active()
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures: dict[concurrent.futures.Future, int] = {}
 
@@ -603,8 +627,16 @@ class ShardedExecutor:
                 shard, stolen = claimed
                 if stolen:
                     self.stats.steals += 1
+                    tracer.instant(
+                        "shard.steal", key=("steal", shard.index),
+                        shard=shard.index, worker=worker,
+                    )
                 future = pool.submit(
-                    _execute_shard, shard, str(self.stream.directory), self.engine
+                    _execute_shard,
+                    shard,
+                    str(self.stream.directory),
+                    self.engine,
+                    trace_dir=tracer.directory,
                 )
                 futures[future] = worker
 
@@ -656,7 +688,12 @@ class ShardedExecutor:
                     "--heartbeat",
                     str(self.heartbeat_s),
                 ]
-                + ([] if self.engine is None else ["--engine", self.engine]),
+                + ([] if self.engine is None else ["--engine", self.engine])
+                + (
+                    []
+                    if obs_trace.active().directory is None
+                    else ["--trace", obs_trace.active().directory]
+                ),
                 env=env,
             )
             for worker in range(workers)
@@ -686,7 +723,14 @@ class ShardedExecutor:
                     for shard in leftovers:
                         stream.claim_path(shard.index).unlink(missing_ok=True)
                         before = _salvage_count(stream, shard)
-                        _execute_shard(shard, stream.directory, self.engine)
+                        obs_trace.active().instant(
+                            "shard.fallback", key=("fallback", shard.index),
+                            shard=shard.index,
+                        )
+                        _execute_shard(
+                            shard, stream.directory, self.engine,
+                            trace_dir=obs_trace.active().directory,
+                        )
                         self.stats.executed += len(shard.specs) - before
                         self.stats.inline_fallback += 1
                         _write_owner(stream, shard.index, "parent")
@@ -707,8 +751,7 @@ class ShardedExecutor:
 
     def _requeue_stale(self, remaining: dict[int, Shard], stale_after: float) -> None:
         """Release claims whose owner died or whose heartbeat went stale."""
-        # repro-lint: disable=DET002 -- liveness/staleness detection only; never enters results
-        now = time.time()
+        now = obs_clock.wall_s()
         for index in list(remaining):
             claim = self.stream.claim_path(index)
             if self.stream.is_complete(index) or not claim.exists():
@@ -723,6 +766,10 @@ class ShardedExecutor:
             if dead or now - beat > stale_after:
                 claim.unlink(missing_ok=True)
                 self.stats.requeues += 1
+                obs_trace.active().instant(
+                    "shard.requeue", key=("requeue", index, self.stats.requeues),
+                    shard=index, owner_pid=pid, dead=dead,
+                )
 
 
 def _salvage_count(stream: ResultStream, shard: Shard) -> int:
@@ -800,12 +847,14 @@ def worker_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--engine", default=None)
     parser.add_argument("--heartbeat", type=float, default=DEFAULT_HEARTBEAT_S)
+    parser.add_argument("--trace", default=None, help="obs trace directory")
     args = parser.parse_args(argv)
 
+    label = f"worker-{args.worker_id}"
+    tracer = obs_trace.ensure(args.trace, process=label)
     stream = ResultStream(args.spool)
     delay_ms = float(os.environ.get(_DELAY_ENV, "0") or "0")
-    # repro-lint: disable=DET002 -- heartbeat pacing only; never enters results
-    last_beat = time.monotonic()
+    last_beat = obs_clock.monotonic_s()
 
     def heartbeat_for(index: int) -> Callable[[], None]:
         """Build the liveness heartbeat callback for shard ``index``."""
@@ -814,25 +863,34 @@ def worker_main(argv: list[str] | None = None) -> int:
         def beat() -> None:
             """Touch the claim mtime to signal this worker is alive."""
             nonlocal last_beat
-            # repro-lint: disable=DET002 -- heartbeat pacing only; never enters results
-            now = time.monotonic()
+            now = obs_clock.monotonic_s()
             if now - last_beat >= args.heartbeat / 2:
                 try:
                     os.utime(claim)
                 except OSError:
                     pass
                 last_beat = now
+                tracer.instant("shard.heartbeat", shard=index, worker=args.worker_id)
 
         return beat
 
-    label = f"worker-{args.worker_id}"
     while True:
         claimable = _next_claimable(stream, args.worker_id, args.workers)
         if claimable is None:
+            obs_trace.shutdown()
             return 0
-        index, _stolen = claimable
+        index, stolen = claimable
         if not _claim(stream, index, args.worker_id):
             continue  # lost the race; look again
+        tracer.instant(
+            "shard.claim", key=("claim", index, args.worker_id),
+            shard=index, worker=args.worker_id, stolen=stolen,
+        )
+        if stolen:
+            tracer.instant(
+                "shard.steal", key=("steal", index),
+                shard=index, worker=args.worker_id,
+            )
         try:
             shard = stream.load_shard(index)
             _execute_shard(
@@ -841,6 +899,7 @@ def worker_main(argv: list[str] | None = None) -> int:
                 args.engine,
                 delay_ms=delay_ms,
                 heartbeat=heartbeat_for(index),
+                trace_dir=args.trace,
             )
             _write_owner(stream, index, label)
         finally:

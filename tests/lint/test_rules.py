@@ -148,6 +148,40 @@ def test_det002_standalone_suppression_covers_next_line(run_rule):
     assert [f.rule for f in result.suppressed] == ["DET002"]
 
 
+def test_det002_sanctioned_path_is_exempt(run_rule):
+    result = run_rule(
+        """
+        import time
+
+        def wall_s():
+            return time.time()
+        """,
+        "DET002",
+        options={"sanctioned_paths": ["obs/clock.py"]},
+        filename="obs/clock.py",
+    )
+    assert result.ok and result.findings == []
+    assert result.suppressed == []
+
+
+def test_det002_hint_appended_outside_sanctioned_paths(run_rule):
+    result = run_rule(
+        """
+        import time
+
+        now = time.time()
+        """,
+        "DET002",
+        options={
+            "sanctioned_paths": ["obs/clock.py"],
+            "hint": "use repro.obs.clock instead",
+        },
+        filename="sim/hot.py",
+    )
+    assert _codes(result) == ["DET002"]
+    assert result.findings[0].message.endswith("(use repro.obs.clock instead)")
+
+
 # ---------------------------------------------------------------------------
 # DET003 — set iteration feeding order-sensitive consumers
 # ---------------------------------------------------------------------------

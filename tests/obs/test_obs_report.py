@@ -1,0 +1,80 @@
+"""Stage breakdown, utilization, HTML timeline, and report rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import report, trace
+
+
+def _record_sample_trace(trace_dir):
+    tracer = trace.configure(trace_dir, process="parent")
+    with tracer.span("batch.run_specs", key=("b",), requested=2):
+        with tracer.span("shard.execute", key=(0, "spec-a")):
+            pass
+        with tracer.span("shard.execute", key=(1, "spec-b")):
+            pass
+        tracer.instant("shard.steal", key=("steal", 1))
+    trace.shutdown()
+
+
+def test_stage_rows_aggregate_per_name(tmp_path):
+    _record_sample_trace(tmp_path / "t")
+    events, merged = report.load_trace(tmp_path / "t")
+    rows = {row[0]: row for row in report.stage_rows(events)}
+    assert rows["shard.execute"][1] == 2
+    assert rows["batch.run_specs"][1] == 1
+    # total_s and quantiles are non-negative and internally consistent
+    # (the log-binned sketch has ~2% relative quantile error).
+    for row in rows.values():
+        name, count, total_s, mean_ms, p50, p99, max_ms = row
+        assert total_s >= 0.0 and p50 <= p99 <= max_ms * 1.05 + 1e-9
+
+
+def test_utilization_counts_only_top_level_spans(tmp_path):
+    _record_sample_trace(tmp_path / "t")
+    events, _ = report.load_trace(tmp_path / "t")
+    rows = report.utilization_rows(events)
+    assert [row[0] for row in rows] == ["parent"]
+    proc, count, extent_s, busy_s, util = rows[0]
+    # Nested shard.execute time must not double-count into busy_s.
+    assert busy_s <= extent_s + 1e-9
+    assert count == len(events)
+
+
+def test_render_report_has_all_sections(tmp_path):
+    _record_sample_trace(tmp_path / "t")
+    text = report.render_report(tmp_path / "t")
+    assert "Stage latency breakdown" in text
+    assert "Process utilization" in text
+    assert "shard.execute" in text
+
+
+def test_render_report_empty_directory(tmp_path):
+    text = report.render_report(tmp_path / "empty")
+    assert "no trace events found" in text
+
+
+def test_export_chrome_trace_counts_events(tmp_path):
+    _record_sample_trace(tmp_path / "t")
+    out = tmp_path / "chrome.json"
+    count = report.export_chrome_trace(tmp_path / "t", out)
+    payload = json.loads(out.read_text())
+    # count covers timeline events; the payload adds metadata entries.
+    assert count == 7  # 3 begins + 3 ends + 1 instant
+    assert len(payload["traceEvents"]) == count + 1  # + process_name meta
+    assert payload["traceEvents"][0]["ph"] == "M"
+
+
+def test_render_html_is_standalone_and_escaped(tmp_path):
+    _record_sample_trace(tmp_path / "t")
+    page = report.render_html(tmp_path / "t")
+    assert page.startswith("<!doctype html>")
+    assert page.rstrip().endswith("</html>")
+    assert 'class="span"' in page and 'class="instant"' in page
+    assert "shard.execute" in page
+
+
+def test_render_html_empty_directory(tmp_path):
+    page = report.render_html(tmp_path / "none")
+    assert "no trace events found" in page

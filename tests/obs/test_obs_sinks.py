@@ -1,0 +1,134 @@
+"""JSONL salvage, cross-process merge, and Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import sinks
+
+
+def _write_jsonl(path, records, tail=""):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        fh.write(tail)
+
+
+def _anchor(proc, wall_s, mono_s=0.0, pid=1):
+    return {
+        "kind": "process", "proc": proc, "pid": pid,
+        "wall_s": wall_s, "mono_s": mono_s,
+    }
+
+
+def _instant(name, mono_s, **attrs):
+    record = {"kind": "instant", "id": name, "name": name, "mono_s": mono_s}
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+def test_read_events_salvages_torn_tail(tmp_path):
+    path = tmp_path / "w.jsonl"
+    records = [_anchor("w", 10.0), _instant("a", 1.0), _instant("b", 2.0)]
+    _write_jsonl(path, records, tail='{"kind":"instant","id":"c"')
+    salvaged = sinks.read_events(path)
+    assert [r.get("id") for r in salvaged] == [None, "a", "b"]
+
+
+def test_read_events_stops_at_corrupt_middle_line(tmp_path):
+    path = tmp_path / "w.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(_anchor("w", 10.0)) + "\n")
+        fh.write("not json at all\n")
+        fh.write(json.dumps(_instant("late", 9.0)) + "\n")
+    # Append-only contract: nothing after the first bad frame is trusted.
+    assert len(sinks.read_events(path)) == 1
+
+
+def test_read_events_missing_file_is_empty(tmp_path):
+    assert sinks.read_events(tmp_path / "absent.jsonl") == []
+
+
+def test_merge_reconciles_per_process_clock_offsets(tmp_path):
+    # Two workers whose monotonic clocks started at different origins
+    # but whose anchors pin the same wall instant.
+    _write_jsonl(
+        tmp_path / "a.jsonl",
+        [_anchor("a", wall_s=100.0, mono_s=0.0), _instant("first", 1.0)],
+    )
+    _write_jsonl(
+        tmp_path / "b.jsonl",
+        [_anchor("b", wall_s=100.0, mono_s=50.0), _instant("second", 50.5)],
+    )
+    events, _ = sinks.merge_trace_dir(tmp_path)
+    assert [e["name"] for e in events] == ["second", "first"]
+    assert [e["ts_s"] for e in events] == [100.5, 101.0]
+    assert [e["proc"] for e in events] == ["b", "a"]
+
+
+def test_merge_collects_metrics_snapshots(tmp_path):
+    _write_jsonl(
+        tmp_path / "w.jsonl",
+        [
+            _anchor("w", 10.0),
+            {"kind": "metrics", "proc": "w", "snapshot": {"counters": {"n": 2}}},
+        ],
+    )
+    _, snapshots = sinks.merge_trace_dir(tmp_path)
+    assert snapshots == [{"counters": {"n": 2}}]
+
+
+def test_merge_drops_events_before_anchor(tmp_path):
+    _write_jsonl(
+        tmp_path / "w.jsonl",
+        [_instant("orphan", 1.0), _anchor("w", 10.0), _instant("kept", 2.0)],
+    )
+    events, _ = sinks.merge_trace_dir(tmp_path)
+    assert [e["name"] for e in events] == ["kept"]
+
+
+def test_merge_missing_directory_is_empty(tmp_path):
+    events, snapshots = sinks.merge_trace_dir(tmp_path / "nope")
+    assert events == [] and snapshots == []
+
+
+def test_chrome_trace_round_trips_spans_and_instants(tmp_path):
+    _write_jsonl(
+        tmp_path / "t" / "w.jsonl",
+        [
+            _anchor("w", 100.0),
+            {"kind": "span_begin", "id": "s1", "name": "work", "mono_s": 1.0},
+            _instant("tick", 1.5, shard=3),
+            {"kind": "span_end", "id": "s1", "name": "work", "mono_s": 2.0},
+        ],
+    )
+    events, _ = sinks.merge_trace_dir(tmp_path / "t")
+    out = tmp_path / "chrome.json"
+    sinks.write_chrome_trace(events, out, counters={"n": 1})
+    payload = json.loads(out.read_text())
+    phases = [e["ph"] for e in payload["traceEvents"]]
+    assert phases == ["M", "B", "i", "E"]
+    begin = payload["traceEvents"][1]
+    end = payload["traceEvents"][3]
+    assert end["ts"] - begin["ts"] == 1e6  # 1 s span in microseconds
+    assert payload["traceEvents"][2]["args"] == {"shard": 3}
+    assert payload["metadata"] == {"obs.counters": {"n": 1}}
+
+
+def test_chrome_trace_keeps_unfinished_span_open(tmp_path):
+    # A SIGKILLed worker leaves a begin with no end; the export keeps
+    # the B event so Perfetto renders the span as unfinished.
+    _write_jsonl(
+        tmp_path / "t" / "w.jsonl",
+        [
+            _anchor("w", 100.0),
+            {"kind": "span_begin", "id": "s1", "name": "doomed", "mono_s": 1.0},
+        ],
+    )
+    events, _ = sinks.merge_trace_dir(tmp_path / "t")
+    out = tmp_path / "chrome.json"
+    sinks.write_chrome_trace(events, out)
+    payload = json.loads(out.read_text())
+    assert [e["ph"] for e in payload["traceEvents"]] == ["M", "B"]

@@ -1,0 +1,148 @@
+"""Span nesting, deterministic IDs, and tracer lifecycle."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics, sinks, trace
+
+
+@pytest.fixture
+def tracer(tmp_path):
+    t = trace.configure(tmp_path / "t", process="parent")
+    yield t
+    trace.shutdown()
+
+
+def _events(trace_dir):
+    events, snapshots = sinks.merge_trace_dir(trace_dir)
+    return events, snapshots
+
+
+def test_null_tracer_is_free_and_reusable():
+    trace.shutdown()
+    t = trace.active()
+    assert not t.enabled and t.directory is None
+    span = t.span("anything", key=("k",), attr=1)
+    with span:
+        t.instant("tick", n=1)
+    # The null span is one shared object; nothing was recorded anywhere.
+    assert t.span("other") is span
+
+
+def test_deterministic_ids_are_stable_and_key_sensitive():
+    a = trace.deterministic_id("shard.execute", (3, "spec"))
+    b = trace.deterministic_id("shard.execute", (3, "spec"))
+    c = trace.deterministic_id("shard.execute", (4, "spec"))
+    d = trace.deterministic_id("other", (3, "spec"))
+    assert a == b
+    assert len({a, c, d}) == 3
+    assert len(a) == 16 and int(a, 16) >= 0
+
+
+def test_keyed_span_id_is_identical_across_tracer_instances(tmp_path):
+    first = trace.configure(tmp_path / "one", process="parent")
+    with first.span("work", key=("spec", 7)):
+        pass
+    trace.shutdown()
+    second = trace.configure(tmp_path / "two", process="worker-3")
+    with second.span("work", key=("spec", 7)):
+        pass
+    trace.shutdown()
+    ids = []
+    for sub in ("one", "two"):
+        events, _ = _events(tmp_path / sub)
+        ids.append([e["id"] for e in events if e["kind"] == "span_begin"])
+    # Same logical work -> same ID, regardless of process or directory.
+    assert ids[0] == ids[1]
+
+
+def test_span_nesting_records_parent_links(tracer, tmp_path):
+    with tracer.span("outer", key=("o",)):
+        with tracer.span("inner", key=("i",)):
+            tracer.instant("leaf", key=("l",))
+    trace.shutdown()
+    events, _ = _events(tmp_path / "t")
+    by_name = {e["name"]: e for e in events if e["kind"] != "span_end"}
+    outer_id = trace.deterministic_id("outer", ("o",))
+    inner_id = trace.deterministic_id("inner", ("i",))
+    assert "parent" not in by_name["outer"]
+    assert by_name["inner"]["parent"] == outer_id
+    assert by_name["leaf"]["parent"] == inner_id
+    # spans() pairs each begin with its end.
+    paired = {begin["name"] for begin, _ in trace.spans(events)}
+    assert paired == {"outer", "inner"}
+
+
+def test_span_attrs_ride_on_the_begin_record(tracer, tmp_path):
+    with tracer.span("stage", key=("s",), shard=2, mode="pool"):
+        pass
+    trace.shutdown()
+    events, _ = _events(tmp_path / "t")
+    begin = next(e for e in events if e["kind"] == "span_begin")
+    assert begin["attrs"] == {"shard": 2, "mode": "pool"}
+
+
+def test_unkeyed_spans_get_unique_sequential_ids(tracer, tmp_path):
+    with tracer.span("pass"):
+        pass
+    with tracer.span("pass"):
+        pass
+    trace.shutdown()
+    events, _ = _events(tmp_path / "t")
+    ids = [e["id"] for e in events if e["kind"] == "span_begin"]
+    assert len(ids) == 2 and ids[0] != ids[1]
+
+
+def test_shutdown_flushes_metrics_snapshot(tmp_path):
+    tracer = trace.configure(tmp_path / "t", process="parent")
+    assert metrics.enabled()
+    metrics.counter("work.done").inc(3)
+    tracer.instant("tick")
+    trace.shutdown()
+    assert not metrics.enabled()
+    _, snapshots = _events(tmp_path / "t")
+    assert snapshots and snapshots[-1]["counters"] == {"work.done": 3}
+
+
+def test_configure_within_process_flushes_previous_stream(tmp_path):
+    trace.configure(tmp_path / "t", process="parent")
+    metrics.counter("first").inc()
+    trace.configure(tmp_path / "t", process="second")
+    metrics.counter("second").inc()
+    trace.shutdown()
+    _, snapshots = _events(tmp_path / "t")
+    merged = metrics.merge_snapshots(snapshots)
+    # Both generations flushed; the re-configure reset the registry so
+    # the first counter is not double-counted into the second snapshot.
+    assert merged["counters"] == {"first": 1, "second": 1}
+
+
+def test_ensure_is_idempotent_and_noop_without_directory(tmp_path):
+    assert trace.ensure(None) is trace.active()
+    first = trace.ensure(tmp_path / "t", process="w")
+    assert first.enabled
+    assert trace.ensure(tmp_path / "t") is first
+    trace.shutdown()
+
+
+def test_process_names_are_sanitized_for_filenames(tmp_path):
+    tracer = trace.configure(tmp_path / "t", process="worker 1/of 2")
+    tracer.instant("tick")
+    trace.shutdown()
+    files = sinks.trace_files(tmp_path / "t")
+    assert [p.name for p in files] == ["worker-1-of-2.jsonl"]
+
+
+def test_anchor_record_carries_paired_clock_sample(tracer, tmp_path):
+    trace.shutdown()
+    raw = sinks.read_events(sinks.trace_files(tmp_path / "t")[0])
+    anchor = raw[0]
+    assert anchor["kind"] == "process"
+    assert {"proc", "pid", "wall_s", "mono_s"} <= set(anchor)
+    # Every record is compact single-line JSON.
+    text = sinks.trace_files(tmp_path / "t")[0].read_text()
+    for line in text.splitlines():
+        assert json.loads(line)

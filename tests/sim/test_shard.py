@@ -222,6 +222,7 @@ class TestSubprocessFaults:
         specs = _sweep_specs(seeds=(0, 1))
         reference = _reference(specs)
         stream, planned = self._spool(tmp_path, specs, 2)
+        trace_dir = tmp_path / "trace"
 
         env = dict(os.environ)
         env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
@@ -237,6 +238,8 @@ class TestSubprocessFaults:
                 "0",
                 "--workers",
                 "1",
+                "--trace",
+                str(trace_dir),
             ],
             env=env,
         )
@@ -264,6 +267,21 @@ class TestSubprocessFaults:
         assert executor.stats.salvaged >= 1
         owner = stream.owner_path(0).read_text().strip()
         assert owner in {"worker-0", "worker-1", "parent"}
+
+        # The SIGKILLed worker's per-process trace stream still merges:
+        # the salvage read keeps the valid prefix (claim instant, any
+        # completed spans) and drops at most a torn final line.
+        from repro.obs import sinks as obs_sinks
+        from repro.obs import trace as obs_trace
+
+        events, _ = obs_sinks.merge_trace_dir(trace_dir)
+        assert events, "dead worker left no mergeable trace events"
+        assert {e["proc"] for e in events} == {"worker-0"}
+        names = {e["name"] for e in events}
+        assert "shard.claim" in names and "shard.execute" in names
+        # Span pairing tolerates any begin the kill left unmatched.
+        for begin, end in obs_trace.spans(events):
+            assert end["ts_s"] >= begin["ts_s"]
 
     def test_parent_finishes_when_every_worker_exits(self, tmp_path):
         specs = _sweep_specs(seeds=(0,))
